@@ -1,0 +1,87 @@
+package zac
+
+// The paper-level benchmark harness: one testing.B benchmark per table and
+// figure of the evaluation (DESIGN.md, per-experiment index). Each benchmark
+// regenerates its experiment over a representative circuit subset so that
+// `go test -bench=.` finishes in minutes; `zac-bench -experiment <id>` runs
+// the same experiment over the full 17-circuit suite.
+
+import (
+	"testing"
+
+	"zac/internal/experiments"
+)
+
+// subset is the representative benchmark slice used by the harness: a deep
+// sequential circuit (bv), a chain (ghz), the high-parallelism workload
+// (ising), the densest circuit (qft), and a mid-size irregular one (wstate).
+var subset = []string{"bv_n14", "ghz_n23", "ising_n42", "qft_n18", "wstate_n27"}
+
+func runExperiment(b *testing.B, id string, circuits []string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, circuits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (hardware parameters).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1", nil) }
+
+// BenchmarkFig1c regenerates Fig. 1c (monolithic fidelity breakdown).
+func BenchmarkFig1c(b *testing.B) { runExperiment(b, "fig1c", subset) }
+
+// BenchmarkFig8 regenerates Fig. 8 (six-way architecture comparison).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8", subset) }
+
+// BenchmarkFig9 regenerates Fig. 9 (fidelity breakdown, 4 NA compilers).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9", subset) }
+
+// BenchmarkFig10 regenerates Fig. 10 (circuit duration).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10", subset) }
+
+// BenchmarkTable2 regenerates Table II (SC grid vs ZAC breakdown).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2", subset) }
+
+// BenchmarkFig11 regenerates Fig. 11 (technique ablation).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11", subset) }
+
+// BenchmarkFig12 regenerates Fig. 12 (compile time vs fidelity).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12", subset) }
+
+// BenchmarkFig13 regenerates Fig. 13 (optimality study).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13", subset) }
+
+// BenchmarkFig14 regenerates Fig. 14 (AOD count 1–4).
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14", subset) }
+
+// BenchmarkMultiZone regenerates §VII-H (two entanglement zones).
+func BenchmarkMultiZone(b *testing.B) { runExperiment(b, "multizone", nil) }
+
+// BenchmarkFTQC regenerates §VIII (hIQP on 128 [[8,3,2]] blocks).
+func BenchmarkFTQC(b *testing.B) { runExperiment(b, "ftqc", nil) }
+
+// BenchmarkZAIRStats regenerates the §IX instruction-density metrics.
+func BenchmarkZAIRStats(b *testing.B) { runExperiment(b, "zair", subset) }
+
+// BenchmarkAdvReuse runs the §X future-work extension ablation (direct
+// in-zone movements for advanced reuse) — not a paper figure, but the
+// evaluation the paper proposes as follow-up work.
+func BenchmarkAdvReuse(b *testing.B) { runExperiment(b, "advreuse", subset) }
+
+// BenchmarkSweep runs the placement-parameter design-choice ablation
+// (δ, k, α, SA budget).
+func BenchmarkSweep(b *testing.B) { runExperiment(b, "sweep", []string{"ghz_n23", "qft_n18"}) }
+
+// BenchmarkWorkloads runs the extension workload families (QAOA, VQE, 2D
+// Ising, random Clifford) across the neutral-atom compilers.
+func BenchmarkWorkloads(b *testing.B) { runExperiment(b, "workloads", nil) }
+
+// BenchmarkNativeCCZ runs the §III multi-trap-site ablation: native CCZ on
+// three-trap Rydberg sites vs the 6-CZ decomposition.
+func BenchmarkNativeCCZ(b *testing.B) { runExperiment(b, "nativeccz", nil) }

@@ -1,0 +1,66 @@
+// Command zac-bench regenerates the paper's tables and figures as text
+// tables (and optionally CSV). Each experiment id matches DESIGN.md's
+// per-experiment index:
+//
+//	zac-bench -experiment fig8
+//	zac-bench -experiment fig9 -circuits bv_n14,ghz_n23
+//	zac-bench -experiment all -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"zac/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: full suite)")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Registry() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var subset []string
+	if *circuits != "" {
+		subset = strings.Split(*circuits, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Registry()
+	}
+
+	for _, id := range ids {
+		tables, err := experiments.Run(id, subset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			fmt.Println(t.Render())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
+					os.Exit(1)
+				}
+				name := fmt.Sprintf("%s_%d.csv", id, i)
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	fmt.Println("[INFO] Finish Compilation")
+}

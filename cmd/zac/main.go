@@ -1,0 +1,129 @@
+// Command zac is the ZAC compiler CLI: it reads an OpenQASM 2.0 circuit (or
+// a named built-in benchmark), compiles it for a zoned neutral-atom
+// architecture, and writes the resulting ZAIR program as JSON together with
+// a fidelity report.
+//
+//	zac -circuit ghz_n23                       # built-in benchmark
+//	zac -qasm program.qasm -arch arch.json     # external inputs
+//	zac -circuit qft_n18 -setting dynPlace     # ablation setting
+//	zac -circuit bv_n14 -out bv.zair.json      # dump ZAIR
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"zac/internal/arch"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/core"
+	"zac/internal/qasm"
+	"zac/internal/trace"
+)
+
+func main() {
+	qasmPath := flag.String("qasm", "", "OpenQASM 2.0 input file")
+	benchName := flag.String("circuit", "", "built-in benchmark name (e.g. ghz_n23; see -list)")
+	list := flag.Bool("list", false, "list built-in benchmarks and exit")
+	archPath := flag.String("arch", "", "architecture JSON (default: the paper's reference architecture)")
+	setting := flag.String("setting", core.SettingSADynPlaceReuse,
+		"compiler setting: Vanilla | dynPlace | dynPlace+reuse | SA+dynPlace+reuse")
+	aods := flag.Int("aods", 0, "override the number of AODs (0 = architecture default)")
+	out := flag.String("out", "", "write the ZAIR program JSON to this file")
+	showTrace := flag.Bool("trace", false, "print the program timeline and AOD Gantt chart")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-16s %3d qubits (paper: %d 2Q, %d 1Q gates)\n", b.Name, b.NumQubits, b.Paper2Q, b.Paper1Q)
+		}
+		return
+	}
+
+	c, err := loadCircuit(*qasmPath, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+	a := arch.Reference()
+	if *archPath != "" {
+		data, err := os.ReadFile(*archPath)
+		if err != nil {
+			fatal(err)
+		}
+		a = &arch.Architecture{}
+		if err := json.Unmarshal(data, a); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *archPath, err))
+		}
+	}
+	if *aods > 0 {
+		a = arch.WithAODs(a, *aods)
+	}
+
+	res, err := core.Compile(c, a, core.OptionsFor(*setting))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("circuit:          %s (%d qubits)\n", c.Name, c.NumQubits)
+	one, two := res.Staged.GateCounts()
+	fmt.Printf("gates:            %d 2Q, %d 1Q after preprocessing\n", two, one)
+	fmt.Printf("rydberg stages:   %d\n", res.NumRydbergStages)
+	fmt.Printf("reused gates:     %d\n", res.ReusedGates)
+	fmt.Printf("qubit movements:  %d (%d rearrangement jobs)\n", res.TotalMoves, res.NumJobs)
+	fmt.Printf("duration:         %.3f ms\n", res.Duration/1000)
+	fmt.Printf("compile time:     %s\n", res.CompileTime)
+	b := res.Breakdown
+	fmt.Printf("fidelity:         total %.4f\n", b.Total)
+	fmt.Printf("  1Q %.4f | 2Q %.4f | excitation %.4f | transfer %.4f | decoherence %.4f\n",
+		b.OneQ, b.TwoQ, b.Excite, b.Transfer, b.Decohere)
+
+	if *showTrace {
+		fmt.Println()
+		fmt.Print(trace.Gantt(res.Program, 100))
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(res.Program, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("zair program:     %s (%d instructions)\n", *out, res.Program.NumZAIRInstructions())
+	}
+	fmt.Println("[INFO] Finish Compilation")
+}
+
+func loadCircuit(qasmPath, benchName string) (*circuit.Circuit, error) {
+	switch {
+	case qasmPath != "" && benchName != "":
+		return nil, fmt.Errorf("use either -qasm or -circuit, not both")
+	case qasmPath != "":
+		data, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return nil, err
+		}
+		c, err := qasm.Parse(string(data))
+		if err != nil {
+			return nil, err
+		}
+		c.Name = qasmPath
+		return c, nil
+	case benchName != "":
+		b, err := bench.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(), nil
+	default:
+		return nil, fmt.Errorf("provide -qasm FILE or -circuit NAME (see -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zac: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command zairsim loads a ZAIR program (as produced by `zac -out`),
+// verifies its physical consistency against an architecture, and reports
+// its statistics and fidelity under the paper's model — the consumer-side
+// counterpart of the compiler, useful for validating externally generated
+// or hand-edited ZAIR programs.
+//
+//	zairsim -program bv.zair.json
+//	zairsim -program bv.zair.json -arch custom_arch.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"zac/internal/arch"
+	"zac/internal/core"
+	"zac/internal/fidelity"
+	"zac/internal/geom"
+	"zac/internal/zair"
+)
+
+func main() {
+	programPath := flag.String("program", "", "ZAIR program JSON file")
+	archPath := flag.String("arch", "", "architecture JSON (default: reference architecture)")
+	flag.Parse()
+
+	if *programPath == "" {
+		fmt.Fprintln(os.Stderr, "zairsim: -program FILE is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	var prog zair.Program
+	if err := json.Unmarshal(data, &prog); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *programPath, err))
+	}
+
+	a := arch.Reference()
+	if *archPath != "" {
+		raw, err := os.ReadFile(*archPath)
+		if err != nil {
+			fatal(err)
+		}
+		a = &arch.Architecture{}
+		if err := json.Unmarshal(raw, a); err != nil {
+			fatal(err)
+		}
+	}
+
+	v := &zair.Verifier{Resolve: resolver(a)}
+	if err := v.Verify(&prog); err != nil {
+		fatal(fmt.Errorf("verification failed: %w", err))
+	}
+	fmt.Println("verification:     OK")
+
+	stats := replayStats(&prog, a)
+	b := fidelity.Compute(core.ParamsFromArch(a), stats)
+	cs := prog.CountStats()
+	fmt.Printf("program:          %s (%d qubits)\n", prog.Name, prog.NumQubits)
+	fmt.Printf("instructions:     %d ZAIR (%d 1qGate, %d rydberg, %d jobs), %d machine-level\n",
+		prog.NumZAIRInstructions(), cs.OneQGate, cs.Rydberg, cs.RearrangeJobs, cs.MachineInsts)
+	fmt.Printf("moved qubits:     %d (%d transfers)\n", cs.MovedQubits, stats.Transfers)
+	fmt.Printf("duration:         %.3f ms\n", prog.Duration()/1000)
+	fmt.Printf("fidelity:         %.4f (1Q %.4f · 2Q %.4f · transfer %.4f · decoherence %.4f)\n",
+		b.Total, b.OneQ, b.TwoQ, b.Transfer, b.Decohere)
+}
+
+// replayStats reconstructs fidelity statistics from a ZAIR instruction
+// stream. 2Q gate counts come from Rydberg exposures: every pair of qubits
+// sharing a Rydberg site when the laser fires counts as one CZ.
+func replayStats(p *zair.Program, a *arch.Architecture) fidelity.Stats {
+	var st fidelity.Stats
+	st.Duration = p.Duration()
+	st.Busy = make([]float64, p.NumQubits)
+
+	// Track positions to resolve Rydberg pairings.
+	pos := map[int]zair.QLoc{}
+	entSLMs := map[int]int{} // slm id → entanglement zone index
+	for zi, z := range a.Entanglement {
+		for _, s := range z.SLMs {
+			entSLMs[s.ID] = zi
+		}
+	}
+	if init, ok := p.Instructions[0].(zair.Init); ok {
+		for _, l := range init.Locs {
+			pos[l.Q] = l
+		}
+	}
+	for _, inst := range p.Instructions[1:] {
+		switch v := inst.(type) {
+		case zair.OneQGate:
+			for _, l := range v.Locs {
+				st.OneQGates++
+				st.AddBusy(l.Q, a.Times.OneQGate)
+			}
+		case zair.Rydberg:
+			// Pair qubits by (zone, row, col).
+			bySite := map[[3]int][]int{}
+			for q, l := range pos {
+				zi, ok := entSLMs[l.A]
+				if !ok || zi != v.ZoneID {
+					continue
+				}
+				key := [3]int{zi, l.R, l.C}
+				bySite[key] = append(bySite[key], q)
+			}
+			for _, qs := range bySite {
+				if len(qs) == 2 {
+					st.TwoQGates++
+					st.AddBusy(qs[0], a.Times.Rydberg)
+					st.AddBusy(qs[1], a.Times.Rydberg)
+				} else {
+					st.Excited += len(qs)
+				}
+			}
+		case zair.RearrangeJob:
+			dur := v.EndTime - v.BeginTime
+			for r := range v.EndLocs {
+				for _, e := range v.EndLocs[r] {
+					pos[e.Q] = e
+					st.Transfers += 2
+					st.AddBusy(e.Q, dur)
+				}
+			}
+		}
+	}
+	return st
+}
+
+func resolver(a *arch.Architecture) zair.PosResolver {
+	return func(slmID, row, col int) (geom.Point, error) {
+		for _, zs := range [][]arch.Zone{a.Storage, a.Entanglement} {
+			for _, z := range zs {
+				for _, s := range z.SLMs {
+					if s.ID == slmID && s.InRange(row, col) {
+						return s.TrapPos(row, col), nil
+					}
+				}
+			}
+		}
+		return geom.Point{}, fmt.Errorf("unknown SLM %d trap (%d,%d)", slmID, row, col)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zairsim: %v\n", err)
+	os.Exit(1)
+}

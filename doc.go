@@ -1,0 +1,11 @@
+// Package zac is a from-scratch Go reproduction of "Reuse-Aware Compilation
+// for Zoned Quantum Architectures Based on Neutral Atoms" (Lin, Tan & Cong,
+// HPCA 2025): the ZAC compiler, the ZAIR intermediate representation, the
+// zoned-architecture specification, the paper's fidelity model, the four
+// baseline compilers of its evaluation, the QASMBench-derived benchmark
+// suite, and a harness that regenerates every table and figure.
+//
+// The root package holds only documentation and the paper-level benchmark
+// harness (bench_test.go); the implementation lives under internal/ (see
+// DESIGN.md for the full inventory) and the executables under cmd/.
+package zac

@@ -1,0 +1,93 @@
+// Archcompare example: a single-circuit slice of the paper's Fig. 8 — run
+// one benchmark through all six compiler/architecture combinations (two
+// superconducting platforms, two monolithic neutral-atom compilers, two
+// zoned compilers) and print the fidelity ladder.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"zac/internal/arch"
+	"zac/internal/baseline/atomique"
+	"zac/internal/baseline/enola"
+	"zac/internal/baseline/nalac"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/core"
+	"zac/internal/fidelity"
+	"zac/internal/resynth"
+	"zac/internal/sc"
+)
+
+func main() {
+	name := flag.String("circuit", "ghz_n23", "benchmark name (see zac -list)")
+	flag.Parse()
+
+	b, err := bench.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	staged, err := resynth.Preprocess(b.Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type entry struct {
+		name     string
+		fidelity float64
+		duration float64 // µs
+	}
+	var rows []entry
+	add := func(n string, f, d float64) { rows = append(rows, entry{n, f, d}) }
+
+	zoned := arch.Reference()
+	split := circuit.SplitRydbergStages(staged, zoned.TotalSites())
+	zr, err := core.CompileStaged(split, zoned, core.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("Zoned-ZAC", zr.Breakdown.Total, zr.Duration)
+
+	nr, err := nalac.Compile(split, zoned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("Zoned-NALAC", nr.Breakdown.Total, nr.Duration)
+
+	mono := arch.Monolithic()
+	er, err := enola.Compile(split, mono)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("Mono-Enola", er.Breakdown.Total, er.Duration)
+
+	ar, err := atomique.Compile(split, mono)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("Mono-Atomique", ar.Breakdown.Total, ar.Duration)
+
+	hr, err := sc.Compile(staged, sc.HeavyHex127(), fidelity.SCHeron())
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("SC-Heron", hr.Breakdown.Total, hr.Duration)
+
+	gr, err := sc.Compile(staged, sc.Grid(11, 11), fidelity.SCGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("SC-Grid", gr.Breakdown.Total, gr.Duration)
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].fidelity > rows[j].fidelity })
+	one, two := staged.GateCounts()
+	fmt.Printf("%s: %d qubits, %d 2Q + %d 1Q gates, %d Rydberg stages\n\n",
+		b.Name, b.NumQubits, two, one, staged.NumRydbergStages())
+	fmt.Printf("%-16s %10s %14s\n", "platform", "fidelity", "duration")
+	for _, r := range rows {
+		fmt.Printf("%-16s %10.4f %11.3f ms\n", r.name, r.fidelity, r.duration/1000)
+	}
+}

@@ -1,0 +1,96 @@
+// Package anneal provides the generic simulated-annealing engine used by
+// ZAC's initial qubit placement (paper §V-A, citing Van Laarhoven & Aarts).
+// The engine is deliberately small: a geometric cooling schedule, a
+// user-supplied neighbor move with undo, and deterministic behaviour under a
+// seeded RNG so experiment outputs are reproducible.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Problem is the interface a state must implement to be annealed. Propose
+// mutates the state into a random neighbor and returns an undo function; Cost
+// returns the current objective value (lower is better).
+type Problem interface {
+	Cost() float64
+	Propose(r *rand.Rand) (undo func())
+}
+
+// Options tunes the annealing schedule.
+type Options struct {
+	// Iterations is the total number of proposals (the paper uses a
+	// 1000-iteration limit for initial placement).
+	Iterations int
+	// InitialTemp is the starting temperature. If zero, it is calibrated to
+	// the initial cost (10% of it, floor 1e-6).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per iteration (default 0.995).
+	Cooling float64
+	// Plateau stops early after this many consecutive non-improving
+	// iterations (0 disables early stopping).
+	Plateau int
+}
+
+// Result reports the outcome of a Run.
+type Result struct {
+	InitialCost float64
+	BestCost    float64
+	Iterations  int
+	Accepted    int
+}
+
+// Run anneals p in place and leaves it in the best state visited. The caller
+// supplies the RNG for determinism.
+func Run(p Problem, opts Options, r *rand.Rand) Result {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1000
+	}
+	if opts.Cooling <= 0 || opts.Cooling >= 1 {
+		opts.Cooling = 0.995
+	}
+	cur := p.Cost()
+	res := Result{InitialCost: cur, BestCost: cur}
+	temp := opts.InitialTemp
+	if temp <= 0 {
+		temp = math.Max(math.Abs(cur)*0.1, 1e-6)
+	}
+
+	// Track the proposal trail since the last best state so we can rewind:
+	// storing full snapshots is the caller's concern; we instead re-anneal by
+	// keeping undo stack from the best point.
+	var sinceBest []func()
+	stale := 0
+
+	for it := 0; it < opts.Iterations; it++ {
+		undo := p.Propose(r)
+		next := p.Cost()
+		delta := next - cur
+		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+			cur = next
+			res.Accepted++
+			sinceBest = append(sinceBest, undo)
+			if cur < res.BestCost-1e-12 {
+				res.BestCost = cur
+				sinceBest = sinceBest[:0]
+				stale = 0
+			} else {
+				stale++
+			}
+		} else {
+			undo()
+			stale++
+		}
+		temp *= opts.Cooling
+		res.Iterations = it + 1
+		if opts.Plateau > 0 && stale >= opts.Plateau {
+			break
+		}
+	}
+	// Rewind to the best state visited.
+	for i := len(sinceBest) - 1; i >= 0; i-- {
+		sinceBest[i]()
+	}
+	return res
+}

@@ -1,0 +1,183 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"zac/internal/geom"
+)
+
+// The JSON format follows the paper artifact's architecture specification
+// (Fig. 20). The artifact spells some keys idiosyncratically
+// ("site_seperation", and "dimenstion" in one place); we accept both the
+// artifact spellings and the corrected ones on input, and emit the artifact
+// spellings for compatibility.
+
+type jsonSLM struct {
+	ID       int        `json:"id"`
+	SiteSep  []float64  `json:"site_seperation"`
+	SiteSep2 []float64  `json:"site_separation,omitempty"`
+	R        int        `json:"r"`
+	C        int        `json:"c"`
+	Location [2]float64 `json:"location"`
+}
+
+type jsonZone struct {
+	ZoneID     int        `json:"zone_id"`
+	SLMs       []jsonSLM  `json:"slms"`
+	Offset     [2]float64 `json:"offset"`
+	Dimension  []float64  `json:"dimension,omitempty"`
+	Dimenstion []float64  `json:"dimenstion,omitempty"` // artifact spelling
+}
+
+type jsonAOD struct {
+	ID      int     `json:"id"`
+	SiteSep float64 `json:"site_seperation"`
+	R       int     `json:"r"`
+	C       int     `json:"c"`
+}
+
+type jsonArch struct {
+	Name         string             `json:"name"`
+	OpDur        map[string]float64 `json:"operation_duration"`
+	OpFid        map[string]float64 `json:"operation_fidelity"`
+	Qubit        map[string]float64 `json:"qubit_spec"`
+	Storage      []jsonZone         `json:"storage_zones"`
+	Entangle     []jsonZone         `json:"entanglement_zones"`
+	Readout      []jsonZone         `json:"readout_zones,omitempty"`
+	AODs         []jsonAOD          `json:"aods"`
+	ArchRange    [][]float64        `json:"arch_range,omitempty"`
+	RydbergRange [][][]float64      `json:"rydberg_range,omitempty"`
+}
+
+func zoneToJSON(z Zone) jsonZone {
+	jz := jsonZone{
+		ZoneID:    z.ID,
+		Offset:    [2]float64{z.Offset.X, z.Offset.Y},
+		Dimension: []float64{z.Dim.X, z.Dim.Y},
+	}
+	for _, s := range z.SLMs {
+		jz.SLMs = append(jz.SLMs, jsonSLM{
+			ID:       s.ID,
+			SiteSep:  []float64{s.SepX, s.SepY},
+			R:        s.Rows,
+			C:        s.Cols,
+			Location: [2]float64{s.Offset.X, s.Offset.Y},
+		})
+	}
+	return jz
+}
+
+func zoneFromJSON(jz jsonZone, kind ZoneKind) (Zone, error) {
+	dim := jz.Dimension
+	if len(dim) == 0 {
+		dim = jz.Dimenstion
+	}
+	if len(dim) != 2 {
+		return Zone{}, fmt.Errorf("arch: zone %d: missing or malformed dimension", jz.ZoneID)
+	}
+	z := Zone{
+		ID:     jz.ZoneID,
+		Kind:   kind,
+		Offset: geom.Point{X: jz.Offset[0], Y: jz.Offset[1]},
+		Dim:    geom.Point{X: dim[0], Y: dim[1]},
+	}
+	for _, s := range jz.SLMs {
+		sep := s.SiteSep
+		if len(sep) == 0 {
+			sep = s.SiteSep2
+		}
+		if len(sep) != 2 {
+			return Zone{}, fmt.Errorf("arch: zone %d SLM %d: malformed site separation", jz.ZoneID, s.ID)
+		}
+		z.SLMs = append(z.SLMs, SLMArray{
+			ID: s.ID, SepX: sep[0], SepY: sep[1],
+			Rows: s.R, Cols: s.C,
+			Offset: geom.Point{X: s.Location[0], Y: s.Location[1]},
+		})
+	}
+	return z, nil
+}
+
+// MarshalJSON encodes the architecture in the artifact's JSON format.
+func (a *Architecture) MarshalJSON() ([]byte, error) {
+	ja := jsonArch{
+		Name: a.Name,
+		OpDur: map[string]float64{
+			"rydberg":       a.Times.Rydberg,
+			"1qGate":        a.Times.OneQGate,
+			"atom_transfer": a.Times.AtomTransfer,
+		},
+		OpFid: map[string]float64{
+			"two_qubit_gate":    a.Fidelities.TwoQubit,
+			"single_qubit_gate": a.Fidelities.SingleQubit,
+			"atom_transfer":     a.Fidelities.AtomTransfer,
+			"excitation":        a.Fidelities.Excitation,
+		},
+		Qubit: map[string]float64{"T": a.T2},
+	}
+	for _, z := range a.Storage {
+		ja.Storage = append(ja.Storage, zoneToJSON(z))
+	}
+	for _, z := range a.Entanglement {
+		ja.Entangle = append(ja.Entangle, zoneToJSON(z))
+	}
+	for _, z := range a.Readout {
+		ja.Readout = append(ja.Readout, zoneToJSON(z))
+	}
+	for _, d := range a.AODs {
+		ja.AODs = append(ja.AODs, jsonAOD{ID: d.ID, SiteSep: d.MinSep, R: d.MaxRows, C: d.MaxCols})
+	}
+	return json.Marshal(ja)
+}
+
+// UnmarshalJSON decodes the artifact JSON format, accepting both artifact
+// and corrected key spellings.
+func (a *Architecture) UnmarshalJSON(data []byte) error {
+	var ja jsonArch
+	if err := json.Unmarshal(data, &ja); err != nil {
+		return err
+	}
+	out := Architecture{Name: ja.Name, ZoneSep: DSep}
+	out.Times = OperationTimes{
+		Rydberg:      ja.OpDur["rydberg"],
+		OneQGate:     ja.OpDur["1qGate"],
+		AtomTransfer: ja.OpDur["atom_transfer"],
+	}
+	out.Fidelities = OperationFidelities{
+		TwoQubit:     ja.OpFid["two_qubit_gate"],
+		SingleQubit:  ja.OpFid["single_qubit_gate"],
+		AtomTransfer: ja.OpFid["atom_transfer"],
+		Excitation:   ja.OpFid["excitation"],
+	}
+	if out.Fidelities.Excitation == 0 {
+		out.Fidelities.Excitation = NeutralAtomFidelities().Excitation
+	}
+	out.T2 = ja.Qubit["T"]
+	for _, jz := range ja.Storage {
+		z, err := zoneFromJSON(jz, StorageZone)
+		if err != nil {
+			return err
+		}
+		out.Storage = append(out.Storage, z)
+	}
+	for _, jz := range ja.Entangle {
+		z, err := zoneFromJSON(jz, EntanglementZone)
+		if err != nil {
+			return err
+		}
+		out.Entanglement = append(out.Entanglement, z)
+	}
+	for _, jz := range ja.Readout {
+		z, err := zoneFromJSON(jz, ReadoutZone)
+		if err != nil {
+			return err
+		}
+		out.Readout = append(out.Readout, z)
+	}
+	for _, d := range ja.AODs {
+		out.AODs = append(out.AODs, AODArray{ID: d.ID, MinSep: d.SiteSep, MaxRows: d.R, MaxCols: d.C})
+	}
+	*a = out
+	return nil
+}

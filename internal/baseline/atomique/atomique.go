@@ -1,0 +1,193 @@
+// Package atomique reimplements the mechanism of Atomique [Wang et al.,
+// ISCA 2024], the second monolithic baseline (§VII-A): qubits are split
+// between a static SLM grid and a mobile AOD grid; inter-array gates execute
+// by moving the whole AOD array so the chosen pairs interact, and
+// intra-array gates first insert SWAPs (three CZ each, executed as
+// inter-array operations) to cross one operand over. Atomique never uses
+// atom transfers — the AOD holds its qubits for the whole program — so its
+// transfer fidelity is 1, but every Rydberg exposure is global and the
+// movement count is high, which drives its large excitation and decoherence
+// errors (Fig. 9).
+package atomique
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/fidelity"
+)
+
+// Result is the evaluation of an Atomique-style compilation.
+type Result struct {
+	Stats            fidelity.Stats
+	Breakdown        fidelity.Breakdown
+	NumRydbergStages int
+	NumSwaps         int
+	Duration         float64
+}
+
+// Compile evaluates a preprocessed circuit under the Atomique execution
+// model on the monolithic architecture a.
+func Compile(staged *circuit.Staged, a *arch.Architecture) (*Result, error) {
+	zone := a.Entanglement[0]
+	cols := zone.SiteCols()
+	half := (staged.NumQubits + 1) / 2
+	if half > zone.SiteRows()*cols {
+		return nil, fmt.Errorf("atomique: %d qubits exceed capacity", staged.NumQubits)
+	}
+
+	// Even logical indices live in the SLM grid, odd in the AOD grid; both
+	// grids are interleaved over the same site lattice, so qubit k of either
+	// array sits at site (k/cols, k%cols).
+	gridPos := func(q int) (row, col int) { k := q / 2; return k / cols, k % cols }
+	isAOD := func(q int) bool { return q%2 == 1 }
+
+	pitchX := zone.SLMs[0].SepX
+	pitchY := zone.SLMs[0].SepY
+
+	var st fidelity.Stats
+	st.Busy = make([]float64, staged.NumQubits)
+	clock := 0.0
+	res := &Result{}
+
+	// The AOD array's current displacement (in grid units) from home.
+	curDX, curDY := 0.0, 0.0
+	arrayMove := func(dx, dy float64) {
+		dist := math.Hypot((dx-curDX)*pitchX, (dy-curDY)*pitchY)
+		if dist == 0 {
+			return
+		}
+		dur := a.MoveTime(dist)
+		// Every AOD-resident qubit rides along.
+		for q := 0; q < staged.NumQubits; q++ {
+			if isAOD(q) {
+				st.Busy[q] += dur
+			}
+		}
+		clock += dur
+		curDX, curDY = dx, dy
+	}
+	expose := func(gates int) {
+		res.NumRydbergStages++
+		st.TwoQGates += gates
+		if idle := staged.NumQubits - 2*gates; idle > 0 {
+			st.Excited += idle
+		}
+		clock += a.Times.Rydberg
+	}
+
+	for _, stage := range staged.Stages {
+		switch stage.Kind {
+		case circuit.OneQStage:
+			for _, g := range stage.Gates {
+				st.OneQGates++
+				st.Busy[g.Qubits[0]] += a.Times.OneQGate
+				clock += a.Times.OneQGate
+			}
+		case circuit.RydbergStage:
+			// Classify gates; intra-array pairs pay a 3-CZ SWAP (each CZ of
+			// the SWAP is an inter-array exposure with its own alignment).
+			// Repeated CZs between the same pair (the SWAP's three CZs)
+			// cannot share one exposure, so each displacement group tracks
+			// per-pair multiplicities and splits into rounds.
+			type aligned struct{ dx, dy float64 }
+			groups := map[aligned]map[[2]int]int{}
+			addInter := func(qSLM, qAOD int) {
+				sr, sc := gridPos(qSLM)
+				ar, ac := gridPos(qAOD)
+				key := aligned{dx: float64(sc - ac), dy: float64(sr - ar)}
+				if groups[key] == nil {
+					groups[key] = map[[2]int]int{}
+				}
+				groups[key][[2]int{qSLM, qAOD}]++
+			}
+			for _, g := range stage.Gates {
+				q1, q2 := g.Qubits[0], g.Qubits[1]
+				switch {
+				case isAOD(q1) != isAOD(q2):
+					if isAOD(q1) {
+						q1, q2 = q2, q1
+					}
+					addInter(q1, q2)
+					for _, q := range g.Qubits {
+						st.Busy[q] += a.Times.Rydberg
+					}
+				default:
+					// Intra-array: swap q2 with an opposite-array neighbor
+					// (3 inter-array CZs), then the gate itself.
+					res.NumSwaps++
+					partner := q2 ^ 1 // interleaved neighbor in the other array
+					if partner >= staged.NumQubits {
+						partner = q2 - 1
+					}
+					for i := 0; i < 3; i++ {
+						if isAOD(q2) {
+							addInter(partner, q2)
+						} else {
+							addInter(q2, partner)
+						}
+					}
+					st.Busy[q2] += 3 * a.Times.Rydberg
+					st.Busy[partner] += 3 * a.Times.Rydberg
+					// The logical gate now runs inter-array via the partner
+					// slot.
+					if isAOD(q1) {
+						addInter(partner, q1)
+					} else {
+						addInter(q1, partner)
+					}
+					st.Busy[q1] += a.Times.Rydberg
+					st.Busy[partner] += a.Times.Rydberg
+				}
+			}
+			// Execute one alignment (array move + global exposure) per
+			// distinct displacement, nearest displacement first.
+			keys := make([]aligned, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				di := math.Hypot(keys[i].dx-curDX, keys[i].dy-curDY)
+				dj := math.Hypot(keys[j].dx-curDX, keys[j].dy-curDY)
+				return di < dj
+			})
+			for _, k := range keys {
+				arrayMove(k.dx, k.dy)
+				// Split repeated-pair gates into sequential exposures.
+				rounds := 0
+				for _, cnt := range groups[k] {
+					if cnt > rounds {
+						rounds = cnt
+					}
+				}
+				for r := 0; r < rounds; r++ {
+					gates := 0
+					for _, cnt := range groups[k] {
+						if cnt > r {
+							gates++
+						}
+					}
+					expose(gates)
+				}
+			}
+		}
+	}
+	arrayMove(0, 0) // return the array home
+	st.Duration = clock
+	res.Stats = st
+	res.Duration = clock
+	res.Breakdown = fidelity.Compute(params(a), st)
+	return res, nil
+}
+
+func params(a *arch.Architecture) fidelity.Params {
+	return fidelity.Params{
+		F1: a.Fidelities.SingleQubit, F2: a.Fidelities.TwoQubit,
+		FExc: a.Fidelities.Excitation, FTran: a.Fidelities.AtomTransfer,
+		T1Q: a.Times.OneQGate, T2Q: a.Times.Rydberg, TTran: a.Times.AtomTransfer,
+		T2: a.T2,
+	}
+}

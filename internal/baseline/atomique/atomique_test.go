@@ -1,0 +1,104 @@
+package atomique
+
+import (
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/resynth"
+)
+
+func stage(t *testing.T, c *circuit.Circuit) *circuit.Staged {
+	t.Helper()
+	s, err := resynth.Preprocess(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNoAtomTransfers(t *testing.T) {
+	// Atomique's signature: zero atom transfers (Fig. 9 caption).
+	a := arch.Monolithic()
+	res, err := Compile(stage(t, bench.GHZ(14)), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Transfers != 0 {
+		t.Errorf("transfers = %d, want 0", res.Stats.Transfers)
+	}
+	if res.Breakdown.Transfer != 1 {
+		t.Errorf("transfer fidelity = %v, want 1", res.Breakdown.Transfer)
+	}
+}
+
+func TestIntraArraySwapOverhead(t *testing.T) {
+	// A gate between two even-index (both SLM) qubits forces a SWAP: 3 extra
+	// CZs.
+	a := arch.Monolithic()
+	c := circuit.New("intra", 4)
+	c.Append(circuit.CZ, []int{0, 2}) // both SLM
+	res, err := Compile(stage(t, c), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSwaps != 1 {
+		t.Errorf("swaps = %d, want 1", res.NumSwaps)
+	}
+	if res.Stats.TwoQGates != 4 { // 3 SWAP CZs + the gate
+		t.Errorf("2Q = %d, want 4", res.Stats.TwoQGates)
+	}
+
+	// An inter-array gate needs no SWAP.
+	c2 := circuit.New("inter", 4)
+	c2.Append(circuit.CZ, []int{0, 1})
+	res2, err := Compile(stage(t, c2), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NumSwaps != 0 || res2.Stats.TwoQGates != 1 {
+		t.Errorf("inter-array gate: swaps=%d 2Q=%d", res2.NumSwaps, res2.Stats.TwoQGates)
+	}
+}
+
+func TestGlobalExposureExcitesIdlers(t *testing.T) {
+	a := arch.Monolithic()
+	res, err := Compile(stage(t, bench.GHZ(20)), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Excited == 0 {
+		t.Error("monolithic Atomique must excite idle qubits")
+	}
+	if res.NumRydbergStages < 19 {
+		t.Errorf("stages = %d, want ≥ 19 (sequential chain)", res.NumRydbergStages)
+	}
+}
+
+func TestRepeatedPairSplitsExposures(t *testing.T) {
+	// The three CZs of one SWAP must be three exposures, not one.
+	a := arch.Monolithic()
+	c := circuit.New("swapcost", 4)
+	c.Append(circuit.CZ, []int{0, 2})
+	res, err := Compile(stage(t, c), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRydbergStages < 4 {
+		t.Errorf("exposures = %d, want ≥ 4 (3 SWAP CZs + gate)", res.NumRydbergStages)
+	}
+}
+
+func TestAllBenchmarksCompile(t *testing.T) {
+	a := arch.Monolithic()
+	for _, b := range bench.All() {
+		res, err := Compile(stage(t, b.Build()), a)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.Breakdown.Total < 0 || res.Breakdown.Total > 1 {
+			t.Fatalf("%s: fidelity %v", b.Name, res.Breakdown.Total)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package enola
+
+import (
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/resynth"
+)
+
+func stage(t *testing.T, c *circuit.Circuit) *circuit.Staged {
+	t.Helper()
+	s, err := resynth.Preprocess(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCompileGHZ(t *testing.T) {
+	a := arch.Monolithic()
+	staged := stage(t, bench.GHZ(14))
+	res, err := Compile(staged, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TwoQGates != 13 {
+		t.Errorf("2Q = %d", res.Stats.TwoQGates)
+	}
+	// Monolithic: every stage excites the 12 idle qubits (14 − 2 per gate,
+	// 13 sequential stages).
+	if want := 13 * (14 - 2); res.Stats.Excited != want {
+		t.Errorf("excited = %d, want %d", res.Stats.Excited, want)
+	}
+	if res.Breakdown.Total <= 0 || res.Breakdown.Total >= 1 {
+		t.Errorf("fidelity = %v", res.Breakdown.Total)
+	}
+}
+
+func TestExcitationDominatesDeepCircuits(t *testing.T) {
+	// Fig. 1c: for sequential circuits the excitation term dominates the 2Q
+	// term on the monolithic architecture.
+	a := arch.Monolithic()
+	staged := stage(t, bench.GHZ(40))
+	res, err := Compile(staged, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Excite >= res.Breakdown.TwoQ {
+		t.Errorf("excitation fidelity %v should be below the pure 2Q term %v",
+			res.Breakdown.Excite, res.Breakdown.TwoQ)
+	}
+}
+
+func TestRecolorNeverWorsensStageCount(t *testing.T) {
+	// Ising decomposes to commuting CZ runs; Enola's edge coloring must not
+	// produce more Rydberg stages than ASAP.
+	staged := stage(t, bench.Ising(20, 1))
+	asap := staged.NumRydbergStages()
+	recolored := 0
+	for _, s := range recolorStages(staged) {
+		if s.Kind == circuit.RydbergStage {
+			recolored++
+		}
+	}
+	if recolored > asap {
+		t.Errorf("recolored %d stages > ASAP %d", recolored, asap)
+	}
+	if recolored == 0 {
+		t.Error("no Rydberg stages after recoloring")
+	}
+}
+
+func TestRecolorPreservesGates(t *testing.T) {
+	staged := stage(t, bench.QFT(8))
+	count := func(stages []circuit.Stage) (one, two int) {
+		for _, s := range stages {
+			if s.Kind == circuit.OneQStage {
+				one += len(s.Gates)
+			} else {
+				two += len(s.Gates)
+			}
+		}
+		return
+	}
+	o1, t1 := count(staged.Stages)
+	o2, t2 := count(recolorStages(staged))
+	if o1 != o2 || t1 != t2 {
+		t.Errorf("gate counts changed: (%d,%d) → (%d,%d)", o1, t1, o2, t2)
+	}
+	// Each recolored stage must still have disjoint qubits.
+	for i, s := range recolorStages(staged) {
+		seen := map[int]bool{}
+		for _, g := range s.Gates {
+			for _, q := range g.Qubits {
+				if seen[q] {
+					t.Fatalf("stage %d reuses qubit %d", i, q)
+				}
+				seen[q] = true
+			}
+		}
+	}
+}
+
+func TestCapacityError(t *testing.T) {
+	a := arch.Monolithic() // 100 sites
+	staged := &circuit.Staged{Name: "big", NumQubits: 101}
+	if _, err := Compile(staged, a); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestAllBenchmarksCompile(t *testing.T) {
+	a := arch.Monolithic()
+	for _, b := range bench.All() {
+		staged := stage(t, b.Build())
+		res, err := Compile(staged, a)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.Breakdown.Total < 0 || res.Breakdown.Total > 1 {
+			t.Fatalf("%s: fidelity %v out of range", b.Name, res.Breakdown.Total)
+		}
+		if res.Duration <= 0 {
+			t.Fatalf("%s: no duration", b.Name)
+		}
+	}
+}

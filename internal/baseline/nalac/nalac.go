@@ -1,0 +1,218 @@
+// Package nalac reimplements the mechanism of NALAC [Stade et al. 2024], the
+// zoned-architecture baseline the paper compares against (§II, §VII): per
+// Rydberg stage it moves two rows of qubits from storage into a single row
+// of the entanglement zone (first operands in one row, second operands in
+// the other) and "slides" the rows past each other so that each gate pair
+// aligns at some slide offset. Its two published weaknesses — which the
+// paper's evaluation exposes — are modeled directly:
+//
+//   - gate placement limited to one entanglement-zone row, so gate pairs
+//     whose rank order crosses need distinct slide offsets, i.e. sequential
+//     exposures and extra horizontal movement (duration overhead);
+//   - qubit reuse that keeps next-stage qubits inside the entanglement
+//     zone, so qubits idle during an exposure — retained qubits and the
+//     other offsets' gate qubits — absorb Rydberg excitation errors
+//     (2Q-fidelity overhead, Fig. 9).
+package nalac
+
+import (
+	"fmt"
+	"sort"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/fidelity"
+)
+
+// Result is the evaluation of a NALAC-style compilation.
+type Result struct {
+	Stats            fidelity.Stats
+	Breakdown        fidelity.Breakdown
+	NumExposures     int
+	NumRowLoads      int
+	Duration         float64
+	TotalSlideLength float64
+}
+
+// Compile evaluates a preprocessed circuit under the NALAC execution model
+// on the zoned architecture a.
+func Compile(staged *circuit.Staged, a *arch.Architecture) (*Result, error) {
+	if len(a.Storage) == 0 || len(a.Entanglement) == 0 {
+		return nil, fmt.Errorf("nalac: architecture needs storage and entanglement zones")
+	}
+	zone := a.Entanglement[0]
+	sitePitch := zone.SLMs[0].SepX
+	rowCapacity := zone.SiteCols()
+	// Average travel for a row load: zone separation plus half the zone
+	// width of horizontal adjustment.
+	loadDistance := a.ZoneSep + float64(rowCapacity)*sitePitch/2
+
+	var st fidelity.Stats
+	st.Busy = make([]float64, staged.NumQubits)
+	clock := 0.0
+	res := &Result{}
+
+	// Zone contents: current gate qubits plus qubits retained for reuse.
+	inZone := map[int]bool{}
+	ryd := staged.RydbergStages()
+	rydIdx := 0
+
+	rowJob := func(qs []int) {
+		if len(qs) == 0 {
+			return
+		}
+		res.NumRowLoads++
+		dur := 2*a.Times.AtomTransfer + a.MoveTime(loadDistance)
+		for _, q := range qs {
+			st.Transfers += 2
+			st.Busy[q] += dur
+		}
+		clock += dur
+	}
+
+	for _, stage := range staged.Stages {
+		switch stage.Kind {
+		case circuit.OneQStage:
+			for _, g := range stage.Gates {
+				st.OneQGates++
+				st.Busy[g.Qubits[0]] += a.Times.OneQGate
+				clock += a.Times.OneQGate
+			}
+		case circuit.RydbergStage:
+			rydIdx++
+			nextNeeded := map[int]bool{}
+			if rydIdx < len(ryd) {
+				for _, g := range staged.Stages[ryd[rydIdx]].Gates {
+					for _, q := range g.Qubits {
+						nextNeeded[q] = true
+					}
+				}
+			}
+
+			// Load missing qubits as two row jobs: first operands into the
+			// static row, second operands into the sliding row.
+			var rowA, rowB []int
+			for _, g := range stage.Gates {
+				if !inZone[g.Qubits[0]] {
+					rowA = append(rowA, g.Qubits[0])
+				}
+				if !inZone[g.Qubits[1]] {
+					rowB = append(rowB, g.Qubits[1])
+				}
+			}
+			rowJob(rowA)
+			rowJob(rowB)
+			for _, g := range stage.Gates {
+				inZone[g.Qubits[0]] = true
+				inZone[g.Qubits[1]] = true
+			}
+
+			// Slide offsets: rank first operands and second operands; a
+			// gate's offset is the rank difference. Uniformly-structured
+			// stages align at one offset; crossing pairs need more.
+			offsets := stageOffsets(stage.Gates)
+			keys := make([]int, 0, len(offsets))
+			for k := range offsets {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			prevOff := 0
+			for _, off := range keys {
+				slide := float64(abs(off-prevOff)) * sitePitch
+				res.TotalSlideLength += slide
+				slideDur := a.MoveTime(slide)
+				for _, g := range offsets[off] {
+					for _, q := range g.Qubits {
+						st.Busy[q] += slideDur
+					}
+				}
+				clock += slideDur
+				prevOff = off
+
+				res.NumExposures++
+				st.TwoQGates += len(offsets[off])
+				gateQubits := map[int]bool{}
+				for _, g := range offsets[off] {
+					for _, q := range g.Qubits {
+						gateQubits[q] = true
+						st.Busy[q] += a.Times.Rydberg
+					}
+				}
+				// Everything else in the zone — retained reuse qubits and
+				// the other offsets' waiting pairs — is excited.
+				for q := range inZone {
+					if !gateQubits[q] {
+						st.Excited++
+					}
+				}
+				clock += a.Times.Rydberg
+			}
+
+			// Reuse: retain qubits needed in the next stage; unload the
+			// rest as one row job.
+			var leaving []int
+			for q := range inZone {
+				if !nextNeeded[q] {
+					leaving = append(leaving, q)
+				}
+			}
+			sort.Ints(leaving)
+			for _, q := range leaving {
+				delete(inZone, q)
+			}
+			rowJob(leaving)
+		}
+	}
+	// Drain the zone.
+	var rest []int
+	for q := range inZone {
+		rest = append(rest, q)
+	}
+	sort.Ints(rest)
+	rowJob(rest)
+
+	st.Duration = clock
+	res.Stats = st
+	res.Duration = clock
+	res.Breakdown = fidelity.Compute(fidelity.Params{
+		F1: a.Fidelities.SingleQubit, F2: a.Fidelities.TwoQubit,
+		FExc: a.Fidelities.Excitation, FTran: a.Fidelities.AtomTransfer,
+		T1Q: a.Times.OneQGate, T2Q: a.Times.Rydberg, TTran: a.Times.AtomTransfer,
+		T2: a.T2,
+	}, st)
+	return res, nil
+}
+
+// stageOffsets groups a stage's gates by slide offset: operands are packed
+// into the two rows in qubit order, and gate (a,b) aligns when the slide
+// equals rank(b) − rank(a).
+func stageOffsets(gates []circuit.Gate) map[int][]circuit.Gate {
+	var as, bs []int
+	for _, g := range gates {
+		as = append(as, g.Qubits[0])
+		bs = append(bs, g.Qubits[1])
+	}
+	sort.Ints(as)
+	sort.Ints(bs)
+	rankA := map[int]int{}
+	for i, q := range as {
+		rankA[q] = i
+	}
+	rankB := map[int]int{}
+	for i, q := range bs {
+		rankB[q] = i
+	}
+	offsets := map[int][]circuit.Gate{}
+	for _, g := range gates {
+		off := rankB[g.Qubits[1]] - rankA[g.Qubits[0]]
+		offsets[off] = append(offsets[off], g)
+	}
+	return offsets
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

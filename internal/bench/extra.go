@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"zac/internal/circuit"
+)
+
+// Extra workloads beyond the paper's Fig. 8 suite: the algorithm families
+// the paper's introduction motivates (optimization, chemistry ansätze,
+// error-corrected Clifford workloads). They feed the `workloads` extension
+// experiment and provide additional structural diversity for tests: QAOA has
+// bounded-degree parallel interaction graphs, the VQE ansatz is a dense
+// brick pattern, the 2D Ising model exercises grid locality, and random
+// Clifford circuits are unstructured.
+
+// QAOA builds a depth-p QAOA circuit on a random 3-regular graph with n
+// vertices (n even): per round, RZZ on every edge then RX mixers.
+func QAOA(n, p int, seed int64) *circuit.Circuit {
+	if n%2 != 0 {
+		n++
+	}
+	r := rand.New(rand.NewSource(seed))
+	edges := random3Regular(n, r)
+	c := circuit.New(fmt.Sprintf("qaoa_n%d_p%d", n, p), n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H, []int{q})
+	}
+	for round := 0; round < p; round++ {
+		gamma := 0.3 + 0.1*float64(round)
+		beta := 0.7 - 0.1*float64(round)
+		for _, e := range edges {
+			c.Append(circuit.RZZ, []int{e[0], e[1]}, 2*gamma)
+		}
+		for q := 0; q < n; q++ {
+			c.Append(circuit.RX, []int{q}, 2*beta)
+		}
+	}
+	return c
+}
+
+// random3Regular samples a 3-regular simple graph by repeated perfect
+// matchings (union of three disjoint matchings; retry on collisions).
+func random3Regular(n int, r *rand.Rand) [][2]int {
+	for {
+		seen := map[[2]int]bool{}
+		var edges [][2]int
+		ok := true
+		for m := 0; m < 3 && ok; m++ {
+			perm := r.Perm(n)
+			for i := 0; i+1 < n; i += 2 {
+				a, b := perm[i], perm[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				k := [2]int{a, b}
+				if seen[k] {
+					ok = false
+					break
+				}
+				seen[k] = true
+				edges = append(edges, k)
+			}
+		}
+		if ok {
+			return edges
+		}
+	}
+}
+
+// VQE builds a hardware-efficient ansatz: layers of RY rotations followed
+// by a CZ brick pattern (the standard two-local circuit).
+func VQE(n, layers int, seed int64) *circuit.Circuit {
+	r := rand.New(rand.NewSource(seed))
+	c := circuit.New(fmt.Sprintf("vqe_n%d_l%d", n, layers), n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.Append(circuit.RY, []int{q}, (r.Float64()-0.5)*math.Pi)
+		}
+		start := l % 2
+		for i := start; i+1 < n; i += 2 {
+			c.Append(circuit.CZ, []int{i, i + 1})
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.RY, []int{q}, (r.Float64()-0.5)*math.Pi)
+	}
+	return c
+}
+
+// Ising2D builds one Trotter layer of the transverse-field Ising model on a
+// rows×cols grid: RZZ on every horizontal and vertical bond plus RX fields.
+func Ising2D(rows, cols int) *circuit.Circuit {
+	n := rows * cols
+	id := func(r, c int) int { return r*cols + c }
+	c := circuit.New(fmt.Sprintf("ising2d_%dx%d", rows, cols), n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H, []int{q})
+	}
+	const dt, j, h = 0.1, 1.0, 0.7
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc+1 < cols; cc++ {
+			c.Append(circuit.RZZ, []int{id(rr, cc), id(rr, cc+1)}, 2*j*dt)
+		}
+	}
+	for rr := 0; rr+1 < rows; rr++ {
+		for cc := 0; cc < cols; cc++ {
+			c.Append(circuit.RZZ, []int{id(rr, cc), id(rr+1, cc)}, 2*j*dt)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.RX, []int{q}, 2*h*dt)
+	}
+	return c
+}
+
+// RandomClifford builds an unstructured Clifford circuit: uniformly random
+// H/S/CX gates, the workload class of randomized benchmarking and many
+// error-correction subroutines.
+func RandomClifford(n, gates int, seed int64) *circuit.Circuit {
+	r := rand.New(rand.NewSource(seed))
+	c := circuit.New(fmt.Sprintf("clifford_n%d_g%d", n, gates), n)
+	for i := 0; i < gates; i++ {
+		switch r.Intn(3) {
+		case 0:
+			c.Append(circuit.H, []int{r.Intn(n)})
+		case 1:
+			c.Append(circuit.S, []int{r.Intn(n)})
+		default:
+			perm := r.Perm(n)
+			c.Append(circuit.CX, perm[:2])
+		}
+	}
+	return c
+}
+
+// ExtraAll returns the extension workloads at paper-comparable sizes.
+func ExtraAll() []Benchmark {
+	return []Benchmark{
+		{Name: "qaoa_n32_p2", NumQubits: 32,
+			Build: func() *circuit.Circuit { return QAOA(32, 2, 11) }},
+		{Name: "vqe_n24_l6", NumQubits: 24,
+			Build: func() *circuit.Circuit { return VQE(24, 6, 13) }},
+		{Name: "ising2d_6x8", NumQubits: 48,
+			Build: func() *circuit.Circuit { return Ising2D(6, 8) }},
+		{Name: "clifford_n30_g200", NumQubits: 30,
+			Build: func() *circuit.Circuit { return RandomClifford(30, 200, 17) }},
+	}
+}

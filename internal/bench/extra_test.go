@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"zac/internal/resynth"
+)
+
+func TestExtraAllValid(t *testing.T) {
+	for _, b := range ExtraAll() {
+		c := b.Build()
+		if c.NumQubits != b.NumQubits {
+			t.Errorf("%s: %d qubits, declared %d", b.Name, c.NumQubits, b.NumQubits)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		staged, err := resynth.Preprocess(c)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := staged.Validate(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if _, two := staged.GateCounts(); two == 0 {
+			t.Errorf("%s: no 2Q gates", b.Name)
+		}
+	}
+}
+
+func TestRandom3RegularIsRegular(t *testing.T) {
+	c := QAOA(20, 1, 5)
+	deg := map[int]int{}
+	for _, g := range c.Gates {
+		if g.Kind.NumQubits() == 2 {
+			deg[g.Qubits[0]]++
+			deg[g.Qubits[1]]++
+		}
+	}
+	for q := 0; q < 20; q++ {
+		if deg[q] != 3 {
+			t.Errorf("qubit %d has degree %d, want 3", q, deg[q])
+		}
+	}
+}
+
+func TestQAOADeterministic(t *testing.T) {
+	a := QAOA(16, 2, 42)
+	b := QAOA(16, 2, 42)
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("QAOA not deterministic")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Kind != b.Gates[i].Kind || a.Gates[i].Qubits[0] != b.Gates[i].Qubits[0] {
+			t.Fatal("QAOA gate mismatch under same seed")
+		}
+	}
+}
+
+func TestQAOAOddNRoundsUp(t *testing.T) {
+	c := QAOA(15, 1, 3)
+	if c.NumQubits != 16 {
+		t.Errorf("odd n should round up to %d, got %d", 16, c.NumQubits)
+	}
+}
+
+func TestVQEBrickParallelism(t *testing.T) {
+	staged, err := resynth.Preprocess(VQE(24, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 brick layers → ~6 Rydberg stages; must stay well below gate count.
+	_, two := staged.GateCounts()
+	if staged.NumRydbergStages() >= two {
+		t.Errorf("VQE should be highly parallel: %d stages for %d gates",
+			staged.NumRydbergStages(), two)
+	}
+}
+
+func TestIsing2DBondCount(t *testing.T) {
+	c := Ising2D(4, 5)
+	two := 0
+	for _, g := range c.Gates {
+		if g.Kind.NumQubits() == 2 {
+			two++
+		}
+	}
+	// 4*(5-1) horizontal + (4-1)*5 vertical = 31 bonds.
+	if two != 31 {
+		t.Errorf("bonds = %d, want 31", two)
+	}
+}
+
+func TestRandomCliffordGateCount(t *testing.T) {
+	c := RandomClifford(10, 150, 9)
+	if len(c.Gates) != 150 {
+		t.Errorf("gates = %d", len(c.Gates))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

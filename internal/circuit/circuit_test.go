@@ -1,0 +1,244 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKindArity(t *testing.T) {
+	cases := map[Kind]int{
+		U3: 1, H: 1, RZ: 1, CZ: 2, CX: 2, SWAP: 2, RZZ: 2,
+		CCX: 3, CCZ: 3, CSWAP: 3, Measure: 1, Barrier: 1,
+	}
+	for k, want := range cases {
+		if got := k.NumQubits(); got != want {
+			t.Errorf("%s.NumQubits() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestKindParams(t *testing.T) {
+	cases := map[Kind]int{
+		U3: 3, U2: 2, U1: 1, RX: 1, CP: 1, H: 0, CZ: 0, CCX: 0, RZZ: 1,
+	}
+	for k, want := range cases {
+		if got := k.NumParams(); got != want {
+			t.Errorf("%s.NumParams() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestNewGatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arity mismatch")
+		}
+	}()
+	NewGate(CZ, []int{1})
+}
+
+func TestNewGateParamPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on param mismatch")
+		}
+	}()
+	NewGate(RZ, []int{0})
+}
+
+func TestValidate(t *testing.T) {
+	c := New("ok", 3)
+	c.Append(H, []int{0})
+	c.Append(CX, []int{0, 1})
+	c.Append(RZ, []int{2}, 0.5)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := New("bad", 2)
+	bad.Gates = append(bad.Gates, Gate{Kind: CZ, Qubits: []int{0, 5}})
+	if err := bad.Validate(); err == nil {
+		t.Error("expected out-of-range error")
+	}
+
+	dup := New("dup", 2)
+	dup.Gates = append(dup.Gates, Gate{Kind: CZ, Qubits: []int{1, 1}})
+	if err := dup.Validate(); err == nil {
+		t.Error("expected duplicate-qubit error")
+	}
+
+	zero := New("zero", 0)
+	if err := zero.Validate(); err == nil {
+		t.Error("expected non-positive qubit count error")
+	}
+}
+
+func TestCountByArity(t *testing.T) {
+	c := New("c", 3)
+	c.Append(H, []int{0})
+	c.Append(CX, []int{0, 1})
+	c.Append(CCX, []int{0, 1, 2})
+	c.Append(Measure, []int{0})
+	one, multi := c.CountByArity()
+	if one != 1 || multi != 2 {
+		t.Errorf("counts = (%d,%d), want (1,2)", one, multi)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New("c", 2)
+	c.Append(RZ, []int{0}, 1.0)
+	d := c.Clone()
+	d.Gates[0].Qubits[0] = 1
+	d.Gates[0].Params[0] = 9
+	if c.Gates[0].Qubits[0] != 0 || c.Gates[0].Params[0] != 1.0 {
+		t.Error("Clone shares backing arrays")
+	}
+}
+
+func TestTwoQubitEdges(t *testing.T) {
+	c := New("c", 4)
+	c.Append(CX, []int{0, 1})
+	c.Append(CX, []int{1, 0}) // same unordered pair
+	c.Append(CZ, []int{2, 3})
+	edges := c.TwoQubitEdges()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v, want 2 distinct", edges)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New("c", 3)
+	c.Append(H, []int{0})
+	c.Append(H, []int{1}) // parallel with above
+	c.Append(CX, []int{0, 1})
+	c.Append(H, []int{2}) // parallel with everything
+	if got := c.Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2", got)
+	}
+}
+
+func TestGateString(t *testing.T) {
+	g := NewGate(RZ, []int{3}, 0.5)
+	if got := g.String(); got != "rz(0.5) q[3]" {
+		t.Errorf("String = %q", got)
+	}
+	g2 := NewGate(CX, []int{0, 1})
+	if !strings.Contains(g2.String(), "cx q[0],q[1]") {
+		t.Errorf("String = %q", g2.String())
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	c := New("c", 3)
+	c.Append(H, []int{0})     // 0
+	c.Append(CX, []int{0, 1}) // 1 deps on 0
+	c.Append(H, []int{2})     // 2 no deps
+	c.Append(CX, []int{1, 2}) // 3 deps on 1, 2
+	deps := Dependencies(c)
+	if len(deps[0]) != 0 || len(deps[2]) != 0 {
+		t.Error("unexpected deps for independent gates")
+	}
+	if len(deps[1]) != 1 || deps[1][0] != 0 {
+		t.Errorf("deps[1] = %v", deps[1])
+	}
+	if len(deps[3]) != 2 {
+		t.Errorf("deps[3] = %v", deps[3])
+	}
+}
+
+func TestDependenciesBarrier(t *testing.T) {
+	c := New("c", 2)
+	c.Append(H, []int{0})
+	c.Gates = append(c.Gates, Gate{Kind: Barrier, Qubits: []int{0}})
+	c.Append(H, []int{1}) // after barrier, depends on it
+	deps := Dependencies(c)
+	if len(deps[2]) != 1 || deps[2][0] != 1 {
+		t.Errorf("gate after barrier should depend on it: %v", deps[2])
+	}
+}
+
+func TestASAPLevels(t *testing.T) {
+	c := New("c", 3)
+	c.Append(H, []int{0})     // level 0
+	c.Append(CX, []int{0, 1}) // level 1
+	c.Append(H, []int{2})     // level 0
+	c.Append(CX, []int{1, 2}) // level 2
+	lv := ASAPLevels(c)
+	want := []int{0, 1, 0, 2}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, lv[i], want[i])
+		}
+	}
+}
+
+func TestRespectsDependencies(t *testing.T) {
+	c := New("c", 2)
+	c.Append(H, []int{0})
+	c.Append(CX, []int{0, 1})
+	if !RespectsDependencies(c, []int{0, 1}) {
+		t.Error("valid order rejected")
+	}
+	if RespectsDependencies(c, []int{1, 0}) {
+		t.Error("invalid order accepted")
+	}
+	if RespectsDependencies(c, []int{0}) {
+		t.Error("wrong length accepted")
+	}
+	if RespectsDependencies(c, []int{0, 0}) {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestStagedValidate(t *testing.T) {
+	s := &Staged{
+		Name: "s", NumQubits: 4,
+		Stages: []Stage{
+			{Kind: OneQStage, Gates: []Gate{NewGate(U3, []int{0}, 1, 2, 3)}},
+			{Kind: RydbergStage, Gates: []Gate{NewGate(CZ, []int{0, 1}), NewGate(CZ, []int{2, 3})}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	one, two := s.GateCounts()
+	if one != 1 || two != 2 {
+		t.Errorf("counts (%d,%d)", one, two)
+	}
+	if s.NumRydbergStages() != 1 {
+		t.Error("expected 1 Rydberg stage")
+	}
+
+	badKind := &Staged{NumQubits: 2, Stages: []Stage{{Kind: RydbergStage, Gates: []Gate{NewGate(U3, []int{0}, 0, 0, 0)}}}}
+	if badKind.Validate() == nil {
+		t.Error("U3 in Rydberg stage should fail")
+	}
+	overlap := &Staged{NumQubits: 3, Stages: []Stage{{Kind: RydbergStage, Gates: []Gate{NewGate(CZ, []int{0, 1}), NewGate(CZ, []int{1, 2})}}}}
+	if overlap.Validate() == nil {
+		t.Error("qubit reused within a stage should fail")
+	}
+}
+
+func TestStagedFlatten(t *testing.T) {
+	s := &Staged{
+		Name: "s", NumQubits: 2,
+		Stages: []Stage{
+			{Kind: OneQStage, Gates: []Gate{NewGate(U3, []int{0}, math.Pi, 0, math.Pi)}},
+			{Kind: RydbergStage, Gates: []Gate{NewGate(CZ, []int{0, 1})}},
+		},
+	}
+	c := s.Flatten()
+	if len(c.Gates) != 2 || c.Gates[1].Kind != CZ {
+		t.Errorf("flatten wrong: %v", c.Gates)
+	}
+}
+
+func TestStageQubits(t *testing.T) {
+	st := Stage{Kind: RydbergStage, Gates: []Gate{NewGate(CZ, []int{0, 1}), NewGate(CZ, []int{4, 2})}}
+	qs := st.Qubits()
+	if len(qs) != 4 || qs[0] != 0 || qs[3] != 2 {
+		t.Errorf("Qubits = %v", qs)
+	}
+}

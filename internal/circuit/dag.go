@@ -1,0 +1,83 @@
+package circuit
+
+// Dependencies computes, for each gate index, the indices of the gates it
+// directly depends on (the previous gate touching each of its qubits).
+// Barrier gates act as full synchronization points on the qubits they guard
+// (our barriers guard all qubits); Measure depends like a 1Q gate.
+func Dependencies(c *Circuit) [][]int {
+	deps := make([][]int, len(c.Gates))
+	last := make([]int, c.NumQubits)
+	for q := range last {
+		last[q] = -1
+	}
+	for i, g := range c.Gates {
+		if g.Kind == Barrier {
+			for q := 0; q < c.NumQubits; q++ {
+				if last[q] != -1 {
+					deps[i] = appendUnique(deps[i], last[q])
+				}
+				last[q] = i
+			}
+			continue
+		}
+		for _, q := range g.Qubits {
+			if last[q] != -1 {
+				deps[i] = appendUnique(deps[i], last[q])
+			}
+			last[q] = i
+		}
+	}
+	return deps
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// ASAPLevels assigns each gate its as-soon-as-possible level: level(g) =
+// 1 + max over dependencies. Gates with no dependencies get level 0.
+func ASAPLevels(c *Circuit) []int {
+	deps := Dependencies(c)
+	levels := make([]int, len(c.Gates))
+	for i := range c.Gates {
+		lv := 0
+		for _, d := range deps[i] {
+			if levels[d]+1 > lv {
+				lv = levels[d] + 1
+			}
+		}
+		levels[i] = lv
+	}
+	return levels
+}
+
+// RespectsDependencies reports whether order (a permutation of gate indices)
+// lists every gate after all gates it depends on. Used by tests to validate
+// schedules.
+func RespectsDependencies(c *Circuit, order []int) bool {
+	if len(order) != len(c.Gates) {
+		return false
+	}
+	pos := make([]int, len(c.Gates))
+	seen := make([]bool, len(c.Gates))
+	for p, gi := range order {
+		if gi < 0 || gi >= len(c.Gates) || seen[gi] {
+			return false
+		}
+		seen[gi] = true
+		pos[gi] = p
+	}
+	for i, ds := range Dependencies(c) {
+		for _, d := range ds {
+			if pos[d] >= pos[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,27 @@
+package circuit
+
+// SplitRydbergStages returns a copy of s in which every Rydberg stage holds
+// at most maxGates gates, splitting oversized stages into consecutive
+// chunks. The compiler uses this when a stage's parallelism exceeds the
+// architecture's Rydberg-site count (e.g. the 64-CNOT hIQP layers on a
+// 15-site logical architecture, paper §VIII).
+func SplitRydbergStages(s *Staged, maxGates int) *Staged {
+	if maxGates <= 0 {
+		return s
+	}
+	out := &Staged{Name: s.Name, NumQubits: s.NumQubits}
+	for _, st := range s.Stages {
+		if st.Kind != RydbergStage || len(st.Gates) <= maxGates {
+			out.Stages = append(out.Stages, st)
+			continue
+		}
+		for i := 0; i < len(st.Gates); i += maxGates {
+			end := i + maxGates
+			if end > len(st.Gates) {
+				end = len(st.Gates)
+			}
+			out.Stages = append(out.Stages, Stage{Kind: RydbergStage, Gates: st.Gates[i:end]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/geom"
+	"zac/internal/place"
+	"zac/internal/resynth"
+	"zac/internal/zair"
+)
+
+// resynthNativeCCZ stages a circuit keeping CCZ native.
+func resynthNativeCCZ(c *circuit.Circuit) (*circuit.Staged, error) {
+	return resynth.PreprocessNativeCCZ(c)
+}
+
+// randomCircuit builds a random circuit over the input-level vocabulary.
+func randomCircuit(r *rand.Rand, numQubits, numGates int) *circuit.Circuit {
+	c := circuit.New("rand", numQubits)
+	kinds1 := []circuit.Kind{circuit.H, circuit.X, circuit.T, circuit.RZ, circuit.RY}
+	kinds2 := []circuit.Kind{circuit.CX, circuit.CZ, circuit.CP, circuit.RZZ, circuit.SWAP}
+	for i := 0; i < numGates; i++ {
+		if r.Float64() < 0.4 {
+			k := kinds1[r.Intn(len(kinds1))]
+			var params []float64
+			for p := 0; p < k.NumParams(); p++ {
+				params = append(params, (r.Float64()-0.5)*2*math.Pi)
+			}
+			c.Append(k, []int{r.Intn(numQubits)}, params...)
+		} else {
+			k := kinds2[r.Intn(len(kinds2))]
+			perm := r.Perm(numQubits)
+			var params []float64
+			for p := 0; p < k.NumParams(); p++ {
+				params = append(params, (r.Float64()-0.5)*2*math.Pi)
+			}
+			c.Append(k, perm[:2], params...)
+		}
+	}
+	return c
+}
+
+// resolverFor adapts an architecture to the ZAIR verifier.
+func resolverFor(a *arch.Architecture) zair.PosResolver {
+	return func(slmID, row, col int) (geom.Point, error) {
+		for _, zs := range [][]arch.Zone{a.Storage, a.Entanglement} {
+			for _, z := range zs {
+				for _, s := range z.SLMs {
+					if s.ID == slmID && s.InRange(row, col) {
+						return s.TrapPos(row, col), nil
+					}
+				}
+			}
+		}
+		return geom.Point{}, errUnknownLoc
+	}
+}
+
+type unknownLocErr struct{}
+
+func (unknownLocErr) Error() string { return "unknown SLM location" }
+
+var errUnknownLoc = unknownLocErr{}
+
+// TestEndToEndRandomCircuits is the repository's strongest property test:
+// random circuits, every ablation setting plus advanced reuse, every
+// compiled program must satisfy the full physical verifier and the
+// bookkeeping invariants.
+func TestEndToEndRandomCircuits(t *testing.T) {
+	r := rand.New(rand.NewSource(2025))
+	a := arch.Reference()
+	v := &zair.Verifier{Resolve: resolverFor(a)}
+
+	settings := []Options{
+		OptionsFor(SettingVanilla),
+		OptionsFor(SettingDynPlace),
+		OptionsFor(SettingDynPlaceReuse),
+		OptionsFor(SettingSADynPlaceReuse),
+		{Place: func() place.Options {
+			o := place.Default()
+			o.AdvancedReuse = true
+			return o
+		}()},
+	}
+
+	for iter := 0; iter < 12; iter++ {
+		n := 4 + r.Intn(20)
+		g := 10 + r.Intn(60)
+		c := randomCircuit(r, n, g)
+		for si, opts := range settings {
+			res, err := Compile(c, a, opts)
+			if err != nil {
+				t.Fatalf("iter %d setting %d: %v", iter, si, err)
+			}
+			if err := res.Plan.Validate(); err != nil {
+				t.Fatalf("iter %d setting %d: plan: %v", iter, si, err)
+			}
+			if err := v.Verify(res.Program); err != nil {
+				t.Fatalf("iter %d setting %d: program: %v", iter, si, err)
+			}
+			if res.Breakdown.Total < 0 || res.Breakdown.Total > 1 {
+				t.Fatalf("iter %d setting %d: fidelity %v", iter, si, res.Breakdown.Total)
+			}
+			if res.Stats.Transfers != 2*res.TotalMoves {
+				t.Fatalf("iter %d setting %d: transfers %d != 2×moves %d",
+					iter, si, res.Stats.Transfers, res.TotalMoves)
+			}
+			if res.Stats.Excited != 0 {
+				t.Fatalf("iter %d setting %d: ZAC excited %d qubits", iter, si, res.Stats.Excited)
+			}
+			// Busy time can never exceed total duration per qubit.
+			for q, busy := range res.Stats.Busy {
+				if busy > res.Stats.Duration+1e-6 {
+					t.Fatalf("iter %d setting %d: qubit %d busy %v > duration %v",
+						iter, si, q, busy, res.Stats.Duration)
+				}
+			}
+		}
+	}
+}
+
+// TestEndToEndNativeCCZ compiles Toffoli-heavy random circuits on the
+// three-trap-site architecture and verifies the programs physically.
+func TestEndToEndNativeCCZ(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	a := arch.ReferenceTriple()
+	v := &zair.Verifier{Resolve: resolverFor(a)}
+	for iter := 0; iter < 5; iter++ {
+		n := 6 + r.Intn(10)
+		c := circuit.New("ccz_rand", n)
+		for g := 0; g < 25; g++ {
+			switch r.Intn(3) {
+			case 0:
+				c.Append(circuit.H, []int{r.Intn(n)})
+			case 1:
+				perm := r.Perm(n)
+				c.Append(circuit.CZ, perm[:2])
+			default:
+				perm := r.Perm(n)
+				c.Append(circuit.CCX, perm[:3])
+			}
+		}
+		staged, err := resynthNativeCCZ(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompileStaged(staged, a, Default())
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if err := v.Verify(res.Program); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if res.Stats.Excited != 0 {
+			t.Fatalf("iter %d: excitation on zoned architecture", iter)
+		}
+	}
+}
+
+// TestEndToEndMultiZoneMultiAOD exercises the remaining architecture
+// dimensions together: two entanglement zones and multiple AODs.
+func TestEndToEndMultiZoneMultiAOD(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := arch.WithAODs(arch.Arch2TwoZones(), 3)
+	v := &zair.Verifier{Resolve: resolverFor(a)}
+	for iter := 0; iter < 6; iter++ {
+		c := randomCircuit(r, 10+r.Intn(30), 40)
+		res, err := Compile(c, a, Default())
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if err := v.Verify(res.Program); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}

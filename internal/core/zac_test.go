@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/resynth"
+)
+
+func TestCompileGHZ(t *testing.T) {
+	a := arch.Reference()
+	res, err := Compile(bench.GHZ(14), a, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Program.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Total <= 0 || res.Breakdown.Total >= 1 {
+		t.Errorf("fidelity = %v", res.Breakdown.Total)
+	}
+	if res.Stats.Excited != 0 {
+		t.Errorf("ZAC must not excite idle qubits, got %d", res.Stats.Excited)
+	}
+	if res.NumRydbergStages != 13 {
+		t.Errorf("stages = %d, want 13", res.NumRydbergStages)
+	}
+	if res.ReusedGates == 0 {
+		t.Error("GHZ chain should exhibit qubit reuse")
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	// Fig. 11: adding techniques should not hurt on the reuse-friendly
+	// benchmarks; check full ZAC ≥ Vanilla on a GHZ chain.
+	a := arch.Reference()
+	c := bench.GHZ(23)
+	staged, err := resynth.Preprocess(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid := map[string]float64{}
+	for _, s := range []string{SettingVanilla, SettingDynPlace, SettingDynPlaceReuse, SettingSADynPlaceReuse} {
+		res, err := CompileStaged(staged, a, OptionsFor(s))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		fid[s] = res.Breakdown.Total
+	}
+	if fid[SettingSADynPlaceReuse] < fid[SettingVanilla] {
+		t.Errorf("full ZAC (%v) below Vanilla (%v)", fid[SettingSADynPlaceReuse], fid[SettingVanilla])
+	}
+	if fid[SettingDynPlaceReuse] < fid[SettingDynPlace] {
+		t.Errorf("reuse (%v) below dynPlace (%v)", fid[SettingDynPlaceReuse], fid[SettingDynPlace])
+	}
+}
+
+func TestIdealBoundsOrdering(t *testing.T) {
+	// Fig. 13: perfect reuse ≥ perfect placement ≥ perfect movement ≥ ZAC.
+	a := arch.Reference()
+	staged, err := resynth.Preprocess(bench.GHZ(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompileStaged(staged, a, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := PerfectMovement(a, staged, res.Plan).Total
+	pp := PerfectPlacement(a, staged, res.Plan).Total
+	pr := PerfectReuse(a, staged, res.Plan).Total
+	zac := res.Breakdown.Total
+	if !(pr >= pp-1e-12 && pp >= pm-1e-12) {
+		t.Errorf("bound ordering violated: reuse %v, placement %v, movement %v", pr, pp, pm)
+	}
+	if zac > pm+1e-12 {
+		t.Errorf("ZAC (%v) beats its perfect-movement bound (%v)", zac, pm)
+	}
+}
+
+func TestMultiAODNotWorse(t *testing.T) {
+	a1 := arch.Reference()
+	a2 := arch.WithAODs(arch.Reference(), 2)
+	staged, err := resynth.Preprocess(bench.Ising(42, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := CompileStaged(staged, a1, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CompileStaged(staged, a2, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Duration > r1.Duration+1e-9 {
+		t.Errorf("2 AODs slower: %v vs %v", r2.Duration, r1.Duration)
+	}
+	if r2.Breakdown.Total < r1.Breakdown.Total-1e-9 {
+		t.Errorf("2 AODs lower fidelity: %v vs %v", r2.Breakdown.Total, r1.Breakdown.Total)
+	}
+}
+
+func TestCompileRejectsInvalidArch(t *testing.T) {
+	a := arch.Reference()
+	a.AODs = nil
+	if _, err := Compile(bench.GHZ(4), a, Default()); err == nil {
+		t.Fatal("invalid architecture accepted")
+	}
+}
+
+func TestOptionsFor(t *testing.T) {
+	v := OptionsFor(SettingVanilla)
+	if v.Place.UseSA || v.Place.Dynamic || v.Place.Reuse {
+		t.Error("Vanilla should disable everything")
+	}
+	f := OptionsFor(SettingSADynPlaceReuse)
+	if !f.Place.UseSA || !f.Place.Dynamic || !f.Place.Reuse {
+		t.Error("full setting should enable everything")
+	}
+}
+
+func TestZAIRDensity(t *testing.T) {
+	// §IX: ZAIR instructions per gate ≈ 0.85 geomean over the suite; verify
+	// the metric is computable and in a plausible band for one circuit.
+	a := arch.Reference()
+	res, err := Compile(bench.Ising(42, 1), a, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, two := res.Staged.GateCounts()
+	density := float64(res.Program.NumZAIRInstructions()) / float64(one+two)
+	if density <= 0 || density > 3 {
+		t.Errorf("ZAIR density %v implausible", density)
+	}
+}
+
+func TestCompileEmptyCircuitFails(t *testing.T) {
+	c := circuit.New("empty", 0)
+	if _, err := Compile(c, arch.Reference(), Default()); err == nil {
+		t.Fatal("zero-qubit circuit accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"zac/internal/arch"
+	"zac/internal/core"
+	"zac/internal/place"
+)
+
+// AdvReuse evaluates the paper's §X future-work optimization — movements
+// within entanglement zones for more advanced qubit reuse — against stock
+// ZAC: fidelity, atom transfers, and duration per circuit. This is the
+// ablation the paper proposes but does not evaluate; DESIGN.md lists it as
+// an extension experiment.
+func AdvReuse(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	a := arch.Reference()
+	fid := &Table{
+		Title:   "Extension: advanced in-zone reuse (paper §X) — fidelity",
+		Columns: []string{"ZAC", "ZAC+advReuse"},
+	}
+	tran := &Table{
+		Title:   "Extension: advanced in-zone reuse — atom transfers",
+		Columns: []string{"ZAC", "ZAC+advReuse"},
+	}
+	dur := &Table{
+		Title:   "Extension: advanced in-zone reuse — duration (ms)",
+		Columns: []string{"ZAC", "ZAC+advReuse"},
+	}
+	advOpts := core.Options{Place: func() place.Options {
+		o := place.Default()
+		o.AdvancedReuse = true
+		return o
+	}()}
+	for _, b := range benches {
+		staged, err := preprocess(b, a)
+		if err != nil {
+			return nil, err
+		}
+		base, err := core.CompileStaged(staged, a, core.Default())
+		if err != nil {
+			return nil, err
+		}
+		adv, err := core.CompileStaged(staged, a, advOpts)
+		if err != nil {
+			return nil, err
+		}
+		fid.AddRow(b.Name, map[string]float64{
+			"ZAC": base.Breakdown.Total, "ZAC+advReuse": adv.Breakdown.Total,
+		})
+		tran.AddRow(b.Name, map[string]float64{
+			"ZAC": float64(base.Stats.Transfers), "ZAC+advReuse": float64(adv.Stats.Transfers),
+		})
+		dur.AddRow(b.Name, map[string]float64{
+			"ZAC": base.Duration / 1000, "ZAC+advReuse": adv.Duration / 1000,
+		})
+	}
+	return []*Table{fid, tran, dur}, nil
+}
+
+// Sweep evaluates ZAC's tunable placement parameters — candidate-box
+// expansion δ, return-candidate radius k, lookahead weight α, and SA
+// iteration budget — on a representative subset, reporting geomean fidelity
+// per configuration. This is the design-choice ablation DESIGN.md calls out
+// for the cost-function knobs of §V.
+func Sweep(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	a := arch.Reference()
+	type cfg struct {
+		name string
+		mut  func(o *place.Options)
+	}
+	groups := []struct {
+		title string
+		cfgs  []cfg
+	}{
+		{"Sweep: candidate expansion δ", []cfg{
+			{"δ=1", func(o *place.Options) { o.Expansion = 1 }},
+			{"δ=2", func(o *place.Options) { o.Expansion = 2 }},
+			{"δ=4", func(o *place.Options) { o.Expansion = 4 }},
+		}},
+		{"Sweep: return neighborhood k", []cfg{
+			{"k=1", func(o *place.Options) { o.KNeighbors = 1 }},
+			{"k=2", func(o *place.Options) { o.KNeighbors = 2 }},
+			{"k=4", func(o *place.Options) { o.KNeighbors = 4 }},
+		}},
+		{"Sweep: lookahead α", []cfg{
+			{"α=0", func(o *place.Options) { o.Alpha = -1 }}, // fill() keeps non-zero; -1 disables boost
+			{"α=0.1", func(o *place.Options) { o.Alpha = 0.1 }},
+			{"α=0.5", func(o *place.Options) { o.Alpha = 0.5 }},
+		}},
+		{"Sweep: SA iterations", []cfg{
+			{"SA=100", func(o *place.Options) { o.SAIterations = 100 }},
+			{"SA=1000", func(o *place.Options) { o.SAIterations = 1000 }},
+			{"SA=5000", func(o *place.Options) { o.SAIterations = 5000 }},
+		}},
+	}
+	var tables []*Table
+	for _, g := range groups {
+		var cols []string
+		for _, c := range g.cfgs {
+			cols = append(cols, c.name)
+		}
+		t := &Table{Title: g.title, Columns: cols}
+		for _, b := range benches {
+			staged, err := preprocess(b, a)
+			if err != nil {
+				return nil, err
+			}
+			row := map[string]float64{}
+			for _, c := range g.cfgs {
+				o := place.Default()
+				c.mut(&o)
+				r, err := core.CompileStaged(staged, a, core.Options{Place: o})
+				if err != nil {
+					return nil, err
+				}
+				row[c.name] = r.Breakdown.Total
+			}
+			t.AddRow(b.Name, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

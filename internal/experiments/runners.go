@@ -1,0 +1,552 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"zac/internal/arch"
+	"zac/internal/baseline/atomique"
+	"zac/internal/baseline/enola"
+	"zac/internal/baseline/nalac"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/core"
+	"zac/internal/fidelity"
+	"zac/internal/ftqc"
+	"zac/internal/resynth"
+	"zac/internal/sc"
+)
+
+// Column names shared with the paper's legends.
+const (
+	ColSCHeron  = "SC-Heron"
+	ColSCGrid   = "SC-Grid"
+	ColAtomique = "Mono-Atomique"
+	ColEnola    = "Mono-Enola"
+	ColNALAC    = "Zoned-NALAC"
+	ColZAC      = "Zoned-ZAC"
+)
+
+// suite resolves a benchmark subset (nil = the full 17-circuit suite).
+func suite(subset []string) ([]bench.Benchmark, error) {
+	if len(subset) == 0 {
+		return bench.All(), nil
+	}
+	var out []bench.Benchmark
+	for _, name := range subset {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// preprocess builds and stages a benchmark, splitting oversized stages to
+// the reference architecture's site capacity.
+func preprocess(b bench.Benchmark, a *arch.Architecture) (*circuit.Staged, error) {
+	staged, err := resynth.Preprocess(b.Build())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return circuit.SplitRydbergStages(staged, a.TotalSites()), nil
+}
+
+// naResult is the common evaluation shape of all four neutral-atom
+// compilers.
+type naResult struct {
+	breakdown fidelity.Breakdown
+	duration  float64 // µs
+	compile   time.Duration
+}
+
+// runNA evaluates one circuit under the four neutral-atom compilers.
+func runNA(b bench.Benchmark) (map[string]naResult, error) {
+	zoned := arch.Reference()
+	mono := arch.Monolithic()
+	out := map[string]naResult{}
+
+	staged, err := preprocess(b, zoned)
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	zr, err := core.CompileStaged(staged, zoned, core.Default())
+	if err != nil {
+		return nil, fmt.Errorf("%s/zac: %w", b.Name, err)
+	}
+	out[ColZAC] = naResult{zr.Breakdown, zr.Duration, time.Since(t0)}
+
+	t0 = time.Now()
+	nr, err := nalac.Compile(staged, zoned)
+	if err != nil {
+		return nil, fmt.Errorf("%s/nalac: %w", b.Name, err)
+	}
+	out[ColNALAC] = naResult{nr.Breakdown, nr.Duration, time.Since(t0)}
+
+	t0 = time.Now()
+	er, err := enola.Compile(staged, mono)
+	if err != nil {
+		return nil, fmt.Errorf("%s/enola: %w", b.Name, err)
+	}
+	out[ColEnola] = naResult{er.Breakdown, er.Duration, time.Since(t0)}
+
+	t0 = time.Now()
+	ar, err := atomique.Compile(staged, mono)
+	if err != nil {
+		return nil, fmt.Errorf("%s/atomique: %w", b.Name, err)
+	}
+	out[ColAtomique] = naResult{ar.Breakdown, ar.Duration, time.Since(t0)}
+	return out, nil
+}
+
+// runSC evaluates one circuit on both superconducting architectures.
+func runSC(b bench.Benchmark) (map[string]naResult, error) {
+	staged, err := resynth.Preprocess(b.Build())
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]naResult{}
+	t0 := time.Now()
+	hr, err := sc.Compile(staged, sc.HeavyHex127(), fidelity.SCHeron())
+	if err != nil {
+		return nil, fmt.Errorf("%s/heron: %w", b.Name, err)
+	}
+	out[ColSCHeron] = naResult{hr.Breakdown, hr.Duration, time.Since(t0)}
+	t0 = time.Now()
+	gr, err := sc.Compile(staged, sc.Grid(11, 11), fidelity.SCGrid())
+	if err != nil {
+		return nil, fmt.Errorf("%s/grid: %w", b.Name, err)
+	}
+	out[ColSCGrid] = naResult{gr.Breakdown, gr.Duration, time.Since(t0)}
+	return out, nil
+}
+
+// Table1 prints the hardware parameters (paper Table I).
+func Table1() ([]*Table, error) {
+	t := &Table{
+		Title:   "Table I: hardware parameters",
+		Columns: []string{"f2", "f1", "T1q(us)", "T2q(us)", "T2(us)"},
+	}
+	add := func(name string, p fidelity.Params) {
+		t.AddRow(name, map[string]float64{
+			"f2": p.F2, "f1": p.F1, "T1q(us)": p.T1Q, "T2q(us)": p.T2Q, "T2(us)": p.T2,
+		})
+	}
+	add("NeutralAtom", fidelity.NeutralAtom())
+	add("SC-Heron", fidelity.SCHeron())
+	add("SC-Grid", fidelity.SCGrid())
+	t.Notes = append(t.Notes,
+		"neutral atom extras: fexc=0.9975 ftran=0.999 Ttran=15us (paper §VII-B)")
+	return []*Table{t}, nil
+}
+
+// Fig1c reproduces the monolithic fidelity breakdown of Fig. 1c: the
+// excitation of idle qubits dominates even with optimal Rydberg exposures.
+func Fig1c(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 1c: monolithic (Enola) fidelity breakdown",
+		Columns: []string{"2Q-pure", "excitation", "transfer", "decoherence", "1Q", "total"},
+	}
+	mono := arch.Monolithic()
+	for _, b := range benches {
+		staged, err := preprocess(b, mono)
+		if err != nil {
+			return nil, err
+		}
+		r, err := enola.Compile(staged, mono)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(b.Name, map[string]float64{
+			"2Q-pure":     r.Breakdown.TwoQ,
+			"excitation":  r.Breakdown.Excite,
+			"transfer":    r.Breakdown.Transfer,
+			"decoherence": r.Breakdown.Decohere,
+			"1Q":          r.Breakdown.OneQ,
+			"total":       r.Breakdown.Total,
+		})
+	}
+	t.Notes = append(t.Notes, "side-effect (excitation) noise should dominate — compare columns")
+	return []*Table{t}, nil
+}
+
+// Fig8 reproduces the six-way architecture comparison.
+func Fig8(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 8: circuit fidelity across architectures",
+		Columns: []string{ColSCHeron, ColSCGrid, ColAtomique, ColEnola, ColNALAC, ColZAC},
+	}
+	for _, b := range benches {
+		na, err := runNA(b)
+		if err != nil {
+			return nil, err
+		}
+		scr, err := runSC(b)
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{}
+		for k, v := range na {
+			row[k] = v.breakdown.Total
+		}
+		for k, v := range scr {
+			row[k] = v.breakdown.Total
+		}
+		t.AddRow(fmt.Sprintf("%s(%d,%d)", b.Name, b.Paper2Q, b.Paper1Q), row)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig9 reproduces the fidelity breakdown comparison for the four
+// neutral-atom compilers: 2Q gates (including excitation), atom transfer,
+// and decoherence.
+func Fig9(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{ColAtomique, ColEnola, ColNALAC, ColZAC}
+	twoQ := &Table{Title: "Fig 9a: 2Q-gate fidelity (incl. excitation)", Columns: cols}
+	tran := &Table{Title: "Fig 9b: atom-transfer fidelity", Columns: cols}
+	deco := &Table{Title: "Fig 9c: decoherence fidelity", Columns: cols}
+	for _, b := range benches {
+		na, err := runNA(b)
+		if err != nil {
+			return nil, err
+		}
+		r2, rt, rd := map[string]float64{}, map[string]float64{}, map[string]float64{}
+		for k, v := range na {
+			r2[k] = v.breakdown.TwoQCombined()
+			rt[k] = v.breakdown.Transfer
+			rd[k] = v.breakdown.Decohere
+		}
+		twoQ.AddRow(b.Name, r2)
+		tran.AddRow(b.Name, rt)
+		deco.AddRow(b.Name, rd)
+	}
+	return []*Table{twoQ, tran, deco}, nil
+}
+
+// Fig10 reproduces the circuit-duration comparison (milliseconds).
+func Fig10(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 10: circuit duration (ms)",
+		Columns: []string{ColAtomique, ColEnola, ColNALAC, ColZAC},
+	}
+	for _, b := range benches {
+		na, err := runNA(b)
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{}
+		for k, v := range na {
+			row[k] = v.duration / 1000
+		}
+		t.AddRow(b.Name, row)
+	}
+	return []*Table{t}, nil
+}
+
+// Table2 reproduces the fidelity breakdown and average duration for the
+// superconducting grid architecture and ZAC.
+func Table2(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	zoned := arch.Reference()
+	grid := sc.Grid(11, 11)
+
+	type agg struct {
+		twoQ, oneQ, tran, deco, total []float64
+		dur                           float64
+	}
+	var scA, zacA agg
+	for _, b := range benches {
+		staged, err := preprocess(b, zoned)
+		if err != nil {
+			return nil, err
+		}
+		zr, err := core.CompileStaged(staged, zoned, core.Default())
+		if err != nil {
+			return nil, err
+		}
+		zacA.twoQ = append(zacA.twoQ, zr.Breakdown.TwoQCombined())
+		zacA.oneQ = append(zacA.oneQ, zr.Breakdown.OneQ)
+		zacA.tran = append(zacA.tran, zr.Breakdown.Transfer)
+		zacA.deco = append(zacA.deco, zr.Breakdown.Decohere)
+		zacA.total = append(zacA.total, zr.Breakdown.Total)
+		zacA.dur += zr.Duration
+
+		flat, err := resynth.Preprocess(b.Build())
+		if err != nil {
+			return nil, err
+		}
+		gr, err := sc.Compile(flat, grid, fidelity.SCGrid())
+		if err != nil {
+			return nil, err
+		}
+		scA.twoQ = append(scA.twoQ, gr.Breakdown.TwoQ)
+		scA.oneQ = append(scA.oneQ, gr.Breakdown.OneQ)
+		scA.deco = append(scA.deco, gr.Breakdown.Decohere)
+		scA.total = append(scA.total, gr.Breakdown.Total)
+		scA.dur += gr.Duration
+	}
+	n := float64(len(benches))
+	t := &Table{
+		Title:   "Table II: fidelity breakdown and average circuit duration",
+		Columns: []string{"2Qgate", "1Qgate", "Transfer", "Decohere", "Total", "AvgDur(us)"},
+	}
+	t.AddRow("SC-Grid", map[string]float64{
+		"2Qgate": fidelity.GeoMean(scA.twoQ), "1Qgate": fidelity.GeoMean(scA.oneQ),
+		"Decohere": fidelity.GeoMean(scA.deco), "Total": fidelity.GeoMean(scA.total),
+		"AvgDur(us)": scA.dur / n,
+	})
+	t.AddRow("ZAC", map[string]float64{
+		"2Qgate": fidelity.GeoMean(zacA.twoQ), "1Qgate": fidelity.GeoMean(zacA.oneQ),
+		"Transfer": fidelity.GeoMean(zacA.tran), "Decohere": fidelity.GeoMean(zacA.deco),
+		"Total": fidelity.GeoMean(zacA.total), "AvgDur(us)": zacA.dur / n,
+	})
+	return []*Table{t}, nil
+}
+
+// Fig11 reproduces the ablation study over the four compiler settings.
+func Fig11(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	settings := []string{core.SettingVanilla, core.SettingDynPlace, core.SettingDynPlaceReuse, core.SettingSADynPlaceReuse}
+	t := &Table{Title: "Fig 11: ZAC technique ablation (fidelity)", Columns: settings}
+	a := arch.Reference()
+	for _, b := range benches {
+		staged, err := preprocess(b, a)
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{}
+		for _, s := range settings {
+			r, err := core.CompileStaged(staged, a, core.OptionsFor(s))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", b.Name, s, err)
+			}
+			row[s] = r.Breakdown.Total
+		}
+		t.AddRow(b.Name, row)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig12 reproduces the compilation time vs fidelity trade-off: average
+// compile seconds and geomean fidelity per compiler/setting.
+func Fig12(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	a := arch.Reference()
+	t := &Table{
+		Title:   "Fig 12: compilation time vs fidelity",
+		Columns: []string{"time(s)", "fidelity"},
+	}
+	// ZAC settings.
+	for _, s := range []string{core.SettingVanilla, core.SettingDynPlace, core.SettingDynPlaceReuse, core.SettingSADynPlaceReuse} {
+		var secs float64
+		var fids []float64
+		for _, b := range benches {
+			staged, err := preprocess(b, a)
+			if err != nil {
+				return nil, err
+			}
+			r, err := core.CompileStaged(staged, a, core.OptionsFor(s))
+			if err != nil {
+				return nil, err
+			}
+			secs += r.CompileTime.Seconds()
+			fids = append(fids, r.Breakdown.Total)
+		}
+		t.AddRow("ZAC-"+s, map[string]float64{
+			"time(s)": secs / float64(len(benches)), "fidelity": fidelity.GeoMean(fids),
+		})
+	}
+	// Baselines.
+	for _, row := range []string{ColAtomique, ColEnola, ColNALAC} {
+		var secs float64
+		var fids []float64
+		for _, b := range benches {
+			na, err := runNA(b)
+			if err != nil {
+				return nil, err
+			}
+			secs += na[row].compile.Seconds()
+			fids = append(fids, na[row].breakdown.Total)
+		}
+		t.AddRow(row, map[string]float64{
+			"time(s)": secs / float64(len(benches)), "fidelity": fidelity.GeoMean(fids),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// Fig13 reproduces the optimality study: ZAC against the perfect-movement,
+// perfect-placement and perfect-reuse upper bounds.
+func Fig13(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	a := arch.Reference()
+	t := &Table{
+		Title:   "Fig 13: optimality analysis (fidelity)",
+		Columns: []string{"PerfectReuse", "PerfectPlacement", "PerfectMovement", "ZAC"},
+	}
+	for _, b := range benches {
+		staged, err := preprocess(b, a)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.CompileStaged(staged, a, core.Default())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(b.Name, map[string]float64{
+			"PerfectReuse":     core.PerfectReuse(a, staged, r.Plan).Total,
+			"PerfectPlacement": core.PerfectPlacement(a, staged, r.Plan).Total,
+			"PerfectMovement":  core.PerfectMovement(a, staged, r.Plan).Total,
+			"ZAC":              r.Breakdown.Total,
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// Fig14 reproduces the multi-AOD study (1–4 AODs).
+func Fig14(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 14: fidelity vs AOD count",
+		Columns: []string{"1AOD", "2AOD", "3AOD", "4AOD"},
+	}
+	for _, b := range benches {
+		row := map[string]float64{}
+		for n := 1; n <= 4; n++ {
+			a := arch.WithAODs(arch.Reference(), n)
+			staged, err := preprocess(b, a)
+			if err != nil {
+				return nil, err
+			}
+			r, err := core.CompileStaged(staged, a, core.Default())
+			if err != nil {
+				return nil, err
+			}
+			row[fmt.Sprintf("%dAOD", n)] = r.Breakdown.Total
+		}
+		t.AddRow(b.Name, row)
+	}
+	return []*Table{t}, nil
+}
+
+// MultiZone reproduces §VII-H: ising_n98 on Arch1 (one 6×10 zone) vs Arch2
+// (two 3×10 zones flanking the storage zone).
+func MultiZone() ([]*Table, error) {
+	b, err := bench.ByName("ising_n98")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Sec VII-H: multiple entanglement zones (ising_n98)",
+		Columns: []string{"fidelity", "duration(ms)"},
+	}
+	for _, tc := range []struct {
+		name string
+		a    *arch.Architecture
+	}{
+		{"Arch1-1zone", arch.Arch1Small()},
+		{"Arch2-2zones", arch.Arch2TwoZones()},
+	} {
+		staged, err := preprocess(b, tc.a)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.CompileStaged(staged, tc.a, core.Default())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		}
+		t.AddRow(tc.name, map[string]float64{
+			"fidelity": r.Breakdown.Total, "duration(ms)": r.Duration / 1000,
+		})
+	}
+	t.Notes = append(t.Notes, "paper: Arch1 fidelity 0.041 / 23.25ms; Arch2 0.047 (+15%) / 21.63ms (−8%)")
+	return []*Table{t}, nil
+}
+
+// FTQC reproduces §VIII: the 128-block hIQP compilation.
+func FTQC() ([]*Table, error) {
+	res, err := ftqc.Compile(ftqc.ScaledUp(), arch.Logical832())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Sec VIII: hIQP on [[8,3,2]] blocks (logical-level ZAC)",
+		Columns: []string{"blocks", "logicalQubits", "transversalGates", "rydbergStages", "duration(ms)"},
+	}
+	t.AddRow("hIQP-128", map[string]float64{
+		"blocks":           float64(res.Spec.NumBlocks),
+		"logicalQubits":    float64(res.Spec.NumLogicalQubits()),
+		"transversalGates": float64(res.TransversalGates),
+		"rydbergStages":    float64(res.NumRydbergStages),
+		"duration(ms)":     res.DurationMS,
+	})
+	t.Notes = append(t.Notes, "paper: 35 Rydberg stages, 117.847 ms physical duration")
+	return []*Table{t}, nil
+}
+
+// ZAIRStats reproduces the §IX instruction-density metrics: ZAIR
+// instructions per gate and machine instructions per gate.
+func ZAIRStats(subset []string) ([]*Table, error) {
+	benches, err := suite(subset)
+	if err != nil {
+		return nil, err
+	}
+	a := arch.Reference()
+	t := &Table{
+		Title:   "Sec IX: ZAIR instruction density",
+		Columns: []string{"zairPerGate", "machinePerGate"},
+	}
+	for _, b := range benches {
+		staged, err := preprocess(b, a)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.CompileStaged(staged, a, core.Default())
+		if err != nil {
+			return nil, err
+		}
+		one, two := staged.GateCounts()
+		gates := float64(one + two)
+		stats := r.Program.CountStats()
+		t.AddRow(b.Name, map[string]float64{
+			"zairPerGate":    float64(r.Program.NumZAIRInstructions()) / gates,
+			"machinePerGate": float64(stats.MachineInsts) / gates,
+		})
+	}
+	t.Notes = append(t.Notes, "paper geomeans: 0.85 ZAIR inst/gate, 1.77 machine inst/gate")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"zac/internal/arch"
+	"zac/internal/baseline/enola"
+	"zac/internal/baseline/nalac"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/core"
+	"zac/internal/resynth"
+)
+
+// Workloads evaluates the extension workload families (QAOA, VQE, 2D Ising,
+// random Clifford — the algorithm classes the paper's introduction
+// motivates) across the three neutral-atom compilers, checking that ZAC's
+// advantage generalizes beyond the QASMBench suite.
+func Workloads(subset []string) ([]*Table, error) {
+	var benches []bench.Benchmark
+	if len(subset) == 0 {
+		benches = bench.ExtraAll()
+	} else {
+		want := map[string]bool{}
+		for _, n := range subset {
+			want[n] = true
+		}
+		for _, b := range bench.ExtraAll() {
+			if want[b.Name] {
+				benches = append(benches, b)
+			}
+		}
+	}
+	zoned := arch.Reference()
+	mono := arch.Monolithic()
+	fid := &Table{
+		Title:   "Extension: workload families (fidelity)",
+		Columns: []string{ColEnola, ColNALAC, ColZAC},
+	}
+	dur := &Table{
+		Title:   "Extension: workload families (duration ms)",
+		Columns: []string{ColEnola, ColNALAC, ColZAC},
+	}
+	for _, b := range benches {
+		staged, err := resynth.Preprocess(b.Build())
+		if err != nil {
+			return nil, err
+		}
+		staged = circuit.SplitRydbergStages(staged, zoned.TotalSites())
+
+		zr, err := core.CompileStaged(staged, zoned, core.Default())
+		if err != nil {
+			return nil, err
+		}
+		nr, err := nalac.Compile(staged, zoned)
+		if err != nil {
+			return nil, err
+		}
+		er, err := enola.Compile(staged, mono)
+		if err != nil {
+			return nil, err
+		}
+		fid.AddRow(b.Name, map[string]float64{
+			ColEnola: er.Breakdown.Total, ColNALAC: nr.Breakdown.Total, ColZAC: zr.Breakdown.Total,
+		})
+		dur.AddRow(b.Name, map[string]float64{
+			ColEnola: er.Duration / 1000, ColNALAC: nr.Duration / 1000, ColZAC: zr.Duration / 1000,
+		})
+	}
+	return []*Table{fid, dur}, nil
+}

@@ -1,0 +1,142 @@
+package ftqc
+
+import (
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+)
+
+func TestCodeParameters(t *testing.T) {
+	c := Code832{}
+	if c.PhysicalQubits() != 8 || c.LogicalQubits() != 3 || c.Distance() != 2 {
+		t.Error("[[8,3,2]] parameters wrong")
+	}
+	if c.BlockRows() != 2 || c.BlockCols() != 4 {
+		t.Error("block layout wrong")
+	}
+}
+
+func TestScaledUpSpec(t *testing.T) {
+	s := ScaledUp()
+	if s.NumBlocks != 128 {
+		t.Fatalf("blocks = %d", s.NumBlocks)
+	}
+	if s.NumCNOTLayers() != 7 {
+		t.Errorf("CNOT layers = %d, want 7", s.NumCNOTLayers())
+	}
+	if s.NumTransversalGates() != 448 {
+		t.Errorf("transversal gates = %d, want 448 (paper §VIII)", s.NumTransversalGates())
+	}
+	if s.NumLogicalQubits() != 384 {
+		t.Errorf("logical qubits = %d, want 384", s.NumLogicalQubits())
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if (HIQPSpec{NumBlocks: 3}).Validate() == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if (HIQPSpec{NumBlocks: 1}).Validate() == nil {
+		t.Error("single block accepted")
+	}
+	if (HIQPSpec{NumBlocks: 16}).Validate() != nil {
+		t.Error("16 blocks rejected")
+	}
+}
+
+func TestBlockCircuitStructure(t *testing.T) {
+	s := HIQPSpec{NumBlocks: 8}
+	st, err := s.BlockCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 in-block layers interleaved with 3 CNOT layers.
+	if got := st.NumRydbergStages(); got != 3 {
+		t.Errorf("Rydberg stages = %d, want 3", got)
+	}
+	oneQStages := 0
+	for _, stage := range st.Stages {
+		if stage.Kind == circuit.OneQStage {
+			oneQStages++
+		}
+	}
+	if oneQStages != 4 {
+		t.Errorf("in-block layers = %d, want 4", oneQStages)
+	}
+	// Stride doubling: first CNOT layer pairs (0,1),(2,3)...; second (0,2)...
+	ryd := st.RydbergStages()
+	first := st.Stages[ryd[0]].Gates
+	if first[0].Qubits[1]-first[0].Qubits[0] != 1 {
+		t.Error("first layer stride must be 1")
+	}
+	second := st.Stages[ryd[1]].Gates
+	if second[0].Qubits[1]-second[0].Qubits[0] != 2 {
+		t.Error("second layer stride must be 2")
+	}
+	for _, r := range ryd {
+		if len(st.Stages[r].Gates) != 4 {
+			t.Errorf("CNOT layer has %d gates, want 4", len(st.Stages[r].Gates))
+		}
+	}
+}
+
+func TestSplitRydbergStages(t *testing.T) {
+	s := HIQPSpec{NumBlocks: 128}
+	st, err := s.BlockCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := circuit.SplitRydbergStages(st, 15)
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 64 gates per layer / 15 sites = 5 chunks per layer × 7 layers = 35 —
+	// the paper's 35 Rydberg stages.
+	if got := split.NumRydbergStages(); got != 35 {
+		t.Errorf("split stages = %d, want 35 (paper §VIII)", got)
+	}
+	// Gates preserved.
+	_, before := st.GateCounts()
+	_, after := split.GateCounts()
+	if before != after {
+		t.Errorf("gate count changed: %d → %d", before, after)
+	}
+}
+
+func TestCompileScaledUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 128-block compile in -short mode")
+	}
+	res, err := Compile(ScaledUp(), arch.Logical832())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRydbergStages != 35 {
+		t.Errorf("Rydberg stages = %d, want 35 (paper §VIII)", res.NumRydbergStages)
+	}
+	// Paper reports 117.847 ms; our substitute timing model should land in
+	// the same order of magnitude.
+	if res.DurationMS < 20 || res.DurationMS > 600 {
+		t.Errorf("duration = %.1f ms, expected same order as paper's 117.8 ms", res.DurationMS)
+	}
+	if res.TransversalGates != 448 {
+		t.Errorf("transversal gates = %d", res.TransversalGates)
+	}
+}
+
+func TestCompileSmall(t *testing.T) {
+	res, err := Compile(HIQPSpec{NumBlocks: 16}, arch.Logical832())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRydbergStages < 4 {
+		t.Errorf("stages = %d", res.NumRydbergStages)
+	}
+	if err := res.Compiled.Program.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package graphalgo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(r *rand.Rand, n int, p float64) []Edge {
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				edges = append(edges, Edge{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+func maxDegree(n int, edges []Edge) int {
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	m := 0
+	for _, d := range deg {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestMisraGriesValidAndTight(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + r.Intn(14)
+		edges := randomGraph(r, n, 0.4)
+		colors := MisraGries(n, edges)
+		if !ValidEdgeColoring(n, edges, colors) {
+			t.Fatalf("iter %d: invalid coloring for n=%d edges=%v colors=%v", iter, n, edges, colors)
+		}
+		if nc, bound := NumColors(colors), maxDegree(n, edges)+1; nc > bound {
+			t.Fatalf("iter %d: used %d colors, Vizing bound %d", iter, nc, bound)
+		}
+	}
+}
+
+func TestMisraGriesStructured(t *testing.T) {
+	// Path graph: Δ=2, chromatic index 2.
+	path := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	colors := MisraGries(5, path)
+	if !ValidEdgeColoring(5, path, colors) {
+		t.Fatal("invalid path coloring")
+	}
+	if NumColors(colors) > 3 {
+		t.Fatalf("path used %d colors", NumColors(colors))
+	}
+	// Star K1,5: Δ=5, needs exactly 5.
+	star := []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}
+	colors = MisraGries(6, star)
+	if !ValidEdgeColoring(6, star, colors) || NumColors(colors) != 5 {
+		t.Fatalf("star coloring wrong: %v", colors)
+	}
+	// Odd cycle C5: Δ=2 but chromatic index 3.
+	c5 := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	colors = MisraGries(5, c5)
+	if !ValidEdgeColoring(5, c5, colors) || NumColors(colors) > 3 {
+		t.Fatalf("C5 coloring wrong: %v", colors)
+	}
+}
+
+func TestMisraGriesEmpty(t *testing.T) {
+	if got := MisraGries(5, nil); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+}
+
+func TestGreedyEdgeColoring(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + r.Intn(12)
+		edges := randomGraph(r, n, 0.5)
+		colors := GreedyEdgeColoring(n, edges)
+		if !ValidEdgeColoring(n, edges, colors) {
+			t.Fatalf("iter %d: invalid greedy coloring", iter)
+		}
+		if nc, bound := NumColors(colors), 2*maxDegree(n, edges)-1; len(edges) > 0 && nc > bound {
+			t.Fatalf("iter %d: greedy used %d colors, bound %d", iter, nc, bound)
+		}
+	}
+}
+
+func TestValidEdgeColoringRejects(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}}
+	if ValidEdgeColoring(3, edges, []int{0, 0}) {
+		t.Error("shared vertex same color must be invalid")
+	}
+	if ValidEdgeColoring(3, edges, []int{0}) {
+		t.Error("wrong length must be invalid")
+	}
+	if ValidEdgeColoring(3, edges, []int{0, -1}) {
+		t.Error("negative color must be invalid")
+	}
+	if !ValidEdgeColoring(3, edges, []int{0, 1}) {
+		t.Error("proper coloring rejected")
+	}
+}
+
+func TestMaximalIndependentSet(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + r.Intn(15)
+		adj := make([][]int, n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.3 {
+					adj[u] = append(adj[u], v)
+					adj[v] = append(adj[v], u)
+				}
+			}
+		}
+		set := MaximalIndependentSet(n, adj)
+		if !IsMaximalIndependent(n, adj, set) {
+			t.Fatalf("iter %d: set %v not maximal independent, adj=%v", iter, set, adj)
+		}
+	}
+}
+
+func TestMISNoEdgesTakesAll(t *testing.T) {
+	adj := make([][]int, 6)
+	set := MaximalIndependentSet(6, adj)
+	if len(set) != 6 {
+		t.Fatalf("expected all 6 vertices, got %v", set)
+	}
+}
+
+func TestPartitionIntoIndependentSets(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + r.Intn(12)
+		adj := make([][]int, n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.4 {
+					adj[u] = append(adj[u], v)
+					adj[v] = append(adj[v], u)
+				}
+			}
+		}
+		groups := PartitionIntoIndependentSets(n, adj)
+		covered := make([]bool, n)
+		total := 0
+		for _, g := range groups {
+			if !IsIndependent(adj, g) {
+				t.Fatalf("iter %d: group %v not independent", iter, g)
+			}
+			for _, v := range g {
+				if covered[v] {
+					t.Fatalf("iter %d: vertex %d in two groups", iter, v)
+				}
+				covered[v] = true
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("iter %d: covered %d of %d vertices", iter, total, n)
+		}
+	}
+}
+
+func TestPartitionCliqueNeedsNGroups(t *testing.T) {
+	n := 5
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	groups := PartitionIntoIndependentSets(n, adj)
+	if len(groups) != n {
+		t.Fatalf("clique should need %d groups, got %d", n, len(groups))
+	}
+}
+
+func BenchmarkMisraGries(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	edges := randomGraph(r, 100, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MisraGries(100, edges)
+	}
+}

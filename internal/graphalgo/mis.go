@@ -1,0 +1,123 @@
+package graphalgo
+
+import "sort"
+
+// MaximalIndependentSet returns a maximal independent set of the conflict
+// graph given by adjacency lists, preferring low-degree vertices first (the
+// standard greedy heuristic, as used by Enola for movement grouping). The
+// result is sorted ascending.
+func MaximalIndependentSet(n int, adj [][]int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := len(adj[order[a]]), len(adj[order[b]])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	blocked := make([]bool, n)
+	var set []int
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		set = append(set, v)
+		blocked[v] = true
+		for _, w := range adj[v] {
+			blocked[w] = true
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+// PartitionIntoIndependentSets repeatedly extracts maximal independent sets
+// until every vertex is covered, returning the groups in extraction order.
+// This is how rearrangement jobs are formed from a movement conflict graph
+// (paper §VI, following Enola): each group is one job of compatible moves.
+func PartitionIntoIndependentSets(n int, adj [][]int) [][]int {
+	remaining := make([]bool, n)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	left := n
+	var groups [][]int
+	for left > 0 {
+		// Build the induced subgraph over remaining vertices.
+		idx := make([]int, 0, left)
+		pos := make([]int, n)
+		for i := range pos {
+			pos[i] = -1
+		}
+		for v := 0; v < n; v++ {
+			if remaining[v] {
+				pos[v] = len(idx)
+				idx = append(idx, v)
+			}
+		}
+		sub := make([][]int, len(idx))
+		for si, v := range idx {
+			for _, w := range adj[v] {
+				if remaining[w] {
+					sub[si] = append(sub[si], pos[w])
+				}
+			}
+		}
+		mis := MaximalIndependentSet(len(idx), sub)
+		group := make([]int, len(mis))
+		for i, si := range mis {
+			group[i] = idx[si]
+			remaining[idx[si]] = false
+		}
+		left -= len(group)
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// IsIndependent reports whether set is an independent set of adj.
+func IsIndependent(adj [][]int, set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, w := range adj[v] {
+			if in[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependent reports whether set is independent and no vertex can
+// be added without breaking independence.
+func IsMaximalIndependent(n int, adj [][]int, set []int) bool {
+	if !IsIndependent(adj, set) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if in[v] {
+			continue
+		}
+		conflict := false
+		for _, w := range adj[v] {
+			if in[w] {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return false
+		}
+	}
+	return true
+}

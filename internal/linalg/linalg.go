@@ -1,0 +1,206 @@
+// Package linalg implements the small dense complex linear algebra needed by
+// the resynthesis pass: 2×2 complex matrices, the U3(θ,φ,λ) parameterization
+// used by the hardware gate set {CZ, U3}, and the inverse ZYZ decomposition
+// that recovers U3 angles (up to global phase) from an arbitrary 2×2 unitary.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Mat2 is a 2×2 complex matrix in row-major order:
+//
+//	[ A B ]
+//	[ C D ]
+type Mat2 struct {
+	A, B, C, D complex128
+}
+
+// Identity is the 2×2 identity matrix.
+func Identity() Mat2 { return Mat2{1, 0, 0, 1} }
+
+// Mul returns m·n (matrix product, m applied after n when acting on kets as
+// m·n·|ψ⟩ — i.e. call order is Mul(later, earlier)).
+func Mul(m, n Mat2) Mat2 {
+	return Mat2{
+		A: m.A*n.A + m.B*n.C,
+		B: m.A*n.B + m.B*n.D,
+		C: m.C*n.A + m.D*n.C,
+		D: m.C*n.B + m.D*n.D,
+	}
+}
+
+// Scale returns s·m.
+func Scale(s complex128, m Mat2) Mat2 {
+	return Mat2{s * m.A, s * m.B, s * m.C, s * m.D}
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Mat2) Dagger() Mat2 {
+	return Mat2{cmplx.Conj(m.A), cmplx.Conj(m.C), cmplx.Conj(m.B), cmplx.Conj(m.D)}
+}
+
+// Det returns the determinant of m.
+func (m Mat2) Det() complex128 { return m.A*m.D - m.B*m.C }
+
+// IsUnitary reports whether m†m ≈ I to within tol.
+func (m Mat2) IsUnitary(tol float64) bool {
+	p := Mul(m.Dagger(), m)
+	return cmplx.Abs(p.A-1) < tol && cmplx.Abs(p.D-1) < tol &&
+		cmplx.Abs(p.B) < tol && cmplx.Abs(p.C) < tol
+}
+
+// U3 returns the standard U3 gate matrix
+//
+//	U3(θ,φ,λ) = [ cos(θ/2)            -e^{iλ} sin(θ/2)      ]
+//	            [ e^{iφ} sin(θ/2)      e^{i(φ+λ)} cos(θ/2)  ]
+func U3(theta, phi, lambda float64) Mat2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return Mat2{
+		A: c,
+		B: -cmplx.Exp(complex(0, lambda)) * s,
+		C: cmplx.Exp(complex(0, phi)) * s,
+		D: cmplx.Exp(complex(0, phi+lambda)) * c,
+	}
+}
+
+// Common fixed gates in the input gate set.
+func H() Mat2 {
+	r := complex(1/math.Sqrt2, 0)
+	return Mat2{r, r, r, -r}
+}
+func X() Mat2 { return Mat2{0, 1, 1, 0} }
+func Y() Mat2 { return Mat2{0, -1i, 1i, 0} }
+func Z() Mat2 { return Mat2{1, 0, 0, -1} }
+func S() Mat2 { return Mat2{1, 0, 0, 1i} }
+func Sdg() Mat2 {
+	return Mat2{1, 0, 0, -1i}
+}
+func T() Mat2 {
+	return Mat2{1, 0, 0, cmplx.Exp(complex(0, math.Pi/4))}
+}
+func Tdg() Mat2 {
+	return Mat2{1, 0, 0, cmplx.Exp(complex(0, -math.Pi/4))}
+}
+
+// RX, RY, RZ are the standard rotation gates exp(-iθP/2).
+func RX(theta float64) Mat2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return Mat2{c, s, s, c}
+}
+func RY(theta float64) Mat2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return Mat2{c, -s, s, c}
+}
+func RZ(theta float64) Mat2 {
+	return Mat2{cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2))}
+}
+
+// Phase returns the phase gate P(λ) = diag(1, e^{iλ}) = U3(0,0,λ).
+func Phase(lambda float64) Mat2 {
+	return Mat2{1, 0, 0, cmplx.Exp(complex(0, lambda))}
+}
+
+// PhaseDistance returns the global-phase-invariant distance between two 2×2
+// unitaries: min over φ of the max-entry deviation |e^{iφ}m − n|. Zero means
+// the two matrices implement the same physical gate.
+func PhaseDistance(m, n Mat2) float64 {
+	// Align phases on the largest-magnitude entry of n.
+	type pair struct{ a, b complex128 }
+	ps := []pair{{m.A, n.A}, {m.B, n.B}, {m.C, n.C}, {m.D, n.D}}
+	best := -1.0
+	var ref pair
+	for _, p := range ps {
+		if mag := cmplx.Abs(p.b); mag > best {
+			best, ref = mag, p
+		}
+	}
+	if best < 1e-12 {
+		// n ≈ 0: not a unitary; fall back to raw distance.
+		return maxEntryDist(m, n)
+	}
+	if cmplx.Abs(ref.a) < 1e-12 {
+		return maxEntryDist(m, n) // cannot align: structurally different
+	}
+	phase := ref.b / ref.a
+	phase /= complex(cmplx.Abs(phase), 0)
+	return maxEntryDist(Scale(phase, m), n)
+}
+
+func maxEntryDist(m, n Mat2) float64 {
+	d := cmplx.Abs(m.A - n.A)
+	if v := cmplx.Abs(m.B - n.B); v > d {
+		d = v
+	}
+	if v := cmplx.Abs(m.C - n.C); v > d {
+		d = v
+	}
+	if v := cmplx.Abs(m.D - n.D); v > d {
+		d = v
+	}
+	return d
+}
+
+// IsIdentity reports whether m is the identity up to global phase, to tol.
+func (m Mat2) IsIdentity(tol float64) bool {
+	return PhaseDistance(m, Identity()) < tol
+}
+
+// ZYZ decomposes an arbitrary 2×2 unitary into U3 angles (θ, φ, λ) such that
+// U3(θ,φ,λ) equals m up to a global phase. It returns an error if m is not
+// unitary within 1e-6.
+func ZYZ(m Mat2) (theta, phi, lambda float64, err error) {
+	if !m.IsUnitary(1e-6) {
+		return 0, 0, 0, fmt.Errorf("linalg: ZYZ of non-unitary matrix %+v", m)
+	}
+	// Remove global phase: divide by sqrt(det) to get an SU(2) element.
+	det := m.Det()
+	sq := cmplx.Sqrt(det)
+	if cmplx.Abs(sq) < 1e-12 {
+		return 0, 0, 0, fmt.Errorf("linalg: degenerate determinant")
+	}
+	u := Scale(1/sq, m)
+	// u = [ cos(θ/2) e^{-i(φ+λ)/2}   -sin(θ/2) e^{-i(φ-λ)/2} ]
+	//     [ sin(θ/2) e^{ i(φ-λ)/2}    cos(θ/2) e^{ i(φ+λ)/2} ]
+	cosHalf := cmplx.Abs(u.A)
+	if cosHalf > 1 {
+		cosHalf = 1
+	}
+	theta = 2 * math.Acos(cosHalf)
+	sinHalf := math.Sin(theta / 2)
+
+	var sum, diff float64 // sum = φ+λ, diff = φ−λ
+	switch {
+	case cosHalf >= 1e-9 && sinHalf >= 1e-9:
+		sum = 2 * cmplx.Phase(u.D)
+		diff = 2 * cmplx.Phase(u.C)
+	case sinHalf < 1e-9:
+		// Diagonal: only φ+λ matters; set λ to carry it all.
+		sum = 2 * cmplx.Phase(u.D)
+		diff = sum // ⇒ λ = 0 after solving; any split works, pick φ = sum
+	default:
+		// Anti-diagonal (θ = π): only φ−λ matters.
+		diff = 2 * cmplx.Phase(u.C)
+		sum = diff
+	}
+	phi = (sum + diff) / 2
+	lambda = (sum - diff) / 2
+	return theta, normAngle(phi), normAngle(lambda), nil
+}
+
+// normAngle maps an angle to (−π, π].
+func normAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,158 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedGatesUnitary(t *testing.T) {
+	for name, m := range map[string]Mat2{
+		"H": H(), "X": X(), "Y": Y(), "Z": Z(),
+		"S": S(), "Sdg": Sdg(), "T": T(), "Tdg": Tdg(),
+		"RX": RX(0.7), "RY": RY(-1.3), "RZ": RZ(2.2),
+		"U3": U3(0.5, 1.5, -2.5), "P": Phase(0.9),
+	} {
+		if !m.IsUnitary(1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+}
+
+func TestGateIdentities(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Mat2
+		want Mat2
+	}{
+		{"H*H = I", Mul(H(), H()), Identity()},
+		{"X*X = I", Mul(X(), X()), Identity()},
+		{"S*S = Z", Mul(S(), S()), Z()},
+		{"T*T = S", Mul(T(), T()), S()},
+		{"S*Sdg = I", Mul(S(), Sdg()), Identity()},
+		{"T*Tdg = I", Mul(T(), Tdg()), Identity()},
+		{"HZH = X", Mul(H(), Mul(Z(), H())), X()},
+		{"HXH = Z", Mul(H(), Mul(X(), H())), Z()},
+		{"RZ(pi) ~ Z", RZ(math.Pi), Z()},
+		{"RX(pi) ~ X", RX(math.Pi), X()},
+		{"RY(pi) ~ Y", RY(math.Pi), Y()},
+		{"U3(pi/2,0,pi) = H", U3(math.Pi/2, 0, math.Pi), H()},
+		{"U3(pi,0,pi) = X", U3(math.Pi, 0, math.Pi), X()},
+		{"U3(0,0,pi) = Z", U3(0, 0, math.Pi), Z()},
+		{"P(l) = U3(0,0,l)", Phase(1.234), U3(0, 0, 1.234)},
+	}
+	for _, c := range cases {
+		if d := PhaseDistance(c.got, c.want); d > 1e-9 {
+			t.Errorf("%s: phase distance %g", c.name, d)
+		}
+	}
+}
+
+func TestPhaseDistanceInvariant(t *testing.T) {
+	m := U3(0.7, 0.3, -1.1)
+	rot := Scale(complexExp(0.83), m)
+	if d := PhaseDistance(rot, m); d > 1e-9 {
+		t.Errorf("global phase should not matter, got %g", d)
+	}
+	if d := PhaseDistance(X(), Z()); d < 0.5 {
+		t.Errorf("distinct gates should be far apart, got %g", d)
+	}
+}
+
+func complexExp(a float64) complex128 {
+	return complex(math.Cos(a), math.Sin(a))
+}
+
+func randUnitary(r *rand.Rand) Mat2 {
+	m := U3(r.Float64()*math.Pi, (r.Float64()-0.5)*2*math.Pi, (r.Float64()-0.5)*2*math.Pi)
+	return Scale(complexExp((r.Float64()-0.5)*2*math.Pi), m)
+}
+
+func TestZYZRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		m := randUnitary(r)
+		th, ph, la, err := ZYZ(m)
+		if err != nil {
+			t.Fatalf("ZYZ error: %v", err)
+		}
+		if d := PhaseDistance(U3(th, ph, la), m); d > 1e-7 {
+			t.Fatalf("iter %d: round trip distance %g for %+v (angles %v %v %v)", i, d, m, th, ph, la)
+		}
+	}
+}
+
+func TestZYZEdgeCases(t *testing.T) {
+	for name, m := range map[string]Mat2{
+		"I": Identity(), "Z": Z(), "X": X(), "Y": Y(),
+		"S": S(), "RZ(0.001)": RZ(0.001), "RX(pi-1e-9)": RX(math.Pi - 1e-9),
+		"phase*I": Scale(complexExp(1.1), Identity()),
+	} {
+		th, ph, la, err := ZYZ(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := PhaseDistance(U3(th, ph, la), m); d > 1e-6 {
+			t.Errorf("%s: round-trip distance %g", name, d)
+		}
+	}
+}
+
+func TestZYZRejectsNonUnitary(t *testing.T) {
+	if _, _, _, err := ZYZ(Mat2{1, 1, 1, 1}); err == nil {
+		t.Error("expected error for non-unitary input")
+	}
+}
+
+func TestMulAssociativeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b, c := randUnitary(r), randUnitary(r), randUnitary(r)
+		return maxEntryDist(Mul(Mul(a, b), c), Mul(a, Mul(b, c))) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDaggerInverseProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		m := randUnitary(r)
+		if d := maxEntryDist(Mul(m, m.Dagger()), Identity()); d > 1e-9 {
+			t.Fatalf("m·m† != I, dist %g", d)
+		}
+	}
+}
+
+func TestIsIdentity(t *testing.T) {
+	if !Identity().IsIdentity(1e-9) {
+		t.Error("I should be identity")
+	}
+	if !Scale(complexExp(0.5), Identity()).IsIdentity(1e-9) {
+		t.Error("phase*I should be identity up to phase")
+	}
+	if X().IsIdentity(1e-3) {
+		t.Error("X is not identity")
+	}
+	if RZ(1e-12).IsIdentity(1e-15) {
+		// extremely tight tolerance may fail; just ensure a loose one passes
+		t.Log("tight tolerance rejected near-identity (acceptable)")
+	}
+	if !RZ(1e-12).IsIdentity(1e-9) {
+		t.Error("RZ(1e-12) should be identity within 1e-9")
+	}
+}
+
+func TestNormAngle(t *testing.T) {
+	for _, c := range []struct{ in, want float64 }{
+		{0, 0}, {math.Pi, math.Pi}, {-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi}, {2 * math.Pi, 0}, {-0.5, -0.5},
+	} {
+		if got := normAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("normAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

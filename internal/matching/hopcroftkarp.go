@@ -1,0 +1,79 @@
+// Package matching implements the two bipartite-matching algorithms the paper
+// relies on (and which its Python artifact delegated to SciPy):
+//
+//   - Hopcroft–Karp maximum-cardinality bipartite matching [Hopcroft & Karp,
+//     SIAM J. Comput. 1973], used by ZAC's qubit-reuse identification
+//     (paper §V-B1), with complexity O(|E|·√|V|).
+//   - Jonker–Volgenant minimum-weight full matching (shortest augmenting path
+//     with dual potentials) [Jonker & Volgenant 1988], used by gate placement
+//     (§V-B2) and non-reuse qubit placement (§V-B3), with complexity O(n³).
+package matching
+
+// HopcroftKarp computes a maximum-cardinality matching in a bipartite graph.
+// adj[u] lists the right-side vertices adjacent to left vertex u; nRight is
+// the number of right-side vertices. It returns matchL (matchL[u] = matched
+// right vertex or -1) and the matching size.
+func HopcroftKarp(adj [][]int, nRight int) (matchL []int, size int) {
+	nLeft := len(adj)
+	matchL = make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}

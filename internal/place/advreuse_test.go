@@ -1,0 +1,104 @@
+package place
+
+import (
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+)
+
+func advOpts() Options {
+	o := Default()
+	o.AdvancedReuse = true
+	return o
+}
+
+// qftLike builds a QFT-style CZ circuit with heavy cross-stage qubit
+// sharing — the workload where direct in-zone movement pays off.
+func qftLike(n int) *circuit.Circuit {
+	c := circuit.New("qftlike", n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.Append(circuit.CZ, []int{i, j})
+		}
+	}
+	return c
+}
+
+func TestAdvancedReusePlansValidate(t *testing.T) {
+	a := arch.Reference()
+	for name, c := range map[string]*circuit.Circuit{
+		"ghz":     ghz(20),
+		"pairs":   parallelPairs(24),
+		"qftlike": qftLike(10),
+	} {
+		staged := mustStage(t, c)
+		plan, err := BuildPlan(a, staged, advOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAdvancedReuseReducesMoves(t *testing.T) {
+	a := arch.Reference()
+	staged := mustStage(t, qftLike(12))
+
+	base, err := BuildPlan(a, staged, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := BuildPlan(a, staged, advOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if adv.TotalMoves() > base.TotalMoves() {
+		t.Errorf("advanced reuse increased movements: %d vs %d", adv.TotalMoves(), base.TotalMoves())
+	}
+	// There must be some direct site→site move-in.
+	direct := 0
+	for _, step := range adv.Steps {
+		for _, m := range step.MovesIn {
+			if !m.From.InStorage {
+				direct++
+			}
+		}
+	}
+	if direct == 0 {
+		t.Error("advanced reuse produced no direct in-zone movements")
+	}
+}
+
+func TestAdvancedReuseEverythingReturnsAtEnd(t *testing.T) {
+	a := arch.Reference()
+	staged := mustStage(t, qftLike(10))
+	plan, err := BuildPlan(a, staged, advOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	last := plan.Steps[len(plan.Steps)-1]
+	if len(last.MovesOut) == 0 {
+		t.Error("final stage should drain the zone")
+	}
+}
+
+func TestAdvancedReuseMultiZone(t *testing.T) {
+	a := arch.Arch2TwoZones()
+	staged := mustStage(t, qftLike(14))
+	plan, err := BuildPlan(a, staged, advOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,391 @@
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/geom"
+	"zac/internal/matching"
+)
+
+// reuseMatch computes the gate-to-gate reuse matching between two Rydberg
+// stages (paper §V-B1): vertices are gates, an edge joins g (previous stage)
+// and g′ (next stage) when they share a qubit, and a Hopcroft–Karp maximum
+// matching resolves conflicts such as both qubits of one site being
+// reusable. It returns, for each gate of next, the index of the previous
+// gate whose site it inherits (or -1).
+func reuseMatch(prev, next []circuit.Gate) []int {
+	adj := make([][]int, len(prev))
+	for i, g := range prev {
+		for j, h := range next {
+			if sharesQubit(g, h) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	matchL, _ := matching.HopcroftKarp(adj, len(next))
+	out := make([]int, len(next))
+	for j := range out {
+		out[j] = -1
+	}
+	for i, j := range matchL {
+		if j >= 0 {
+			out[j] = i
+		}
+	}
+	return out
+}
+
+func sharesQubit(g, h circuit.Gate) bool {
+	for _, a := range g.Qubits {
+		for _, b := range h.Qubits {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// candidateSites returns the Ω_cand site set for a gate (paper §V-B2): the
+// δ-expansion box around the gate's nearest site in each entanglement zone,
+// minus the excluded set. Sites with fewer trap slots than the gate has
+// qubits are never candidates (multi-trap sites, §III).
+func candidateSites(a *arch.Architecture, pts []geom.Point, delta int, excluded map[arch.SiteRef]bool) []arch.SiteRef {
+	var out []arch.SiteRef
+	mid := centroid(pts)
+	near := nearSiteForQubits(a, pts)
+	for zi, z := range a.Entanglement {
+		if z.SiteSlots() < len(pts) {
+			continue
+		}
+		nr, nc := z.NearestSite(mid)
+		// Center the box on the zone-shared middle site when the qubits'
+		// nearest sites resolve into this zone; otherwise on the nearest
+		// site to the centroid.
+		if near.Zone == zi {
+			nr, nc = near.Row, near.Col
+		}
+		rows, cols := z.SiteRows(), z.SiteCols()
+		for r := max(0, nr-delta); r <= min(rows-1, nr+delta); r++ {
+			for c := max(0, nc-delta); c <= min(cols-1, nc+delta); c++ {
+				s := arch.SiteRef{Zone: zi, Row: r, Col: c}
+				if !excluded[s] {
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gatePlacement assigns Rydberg sites to the non-reused gates of a stage by
+// minimum-weight full matching (paper §V-B2, Jonker–Volgenant). pos gives
+// current qubit positions; reserved sites (reused gates, held qubits) are
+// excluded except that a gate may target a site currently held by one of its
+// own qubits. lookahead[gi] optionally names a qubit whose distance to the
+// chosen site is added (the §V-B2 reuse lookahead term).
+func gatePlacement(
+	a *arch.Architecture,
+	gates []circuit.Gate,
+	gateIdx []int, // indices (into gates) that still need sites
+	pos []Pos,
+	reserved map[arch.SiteRef]bool,
+	held map[arch.SiteRef][]int, // site → zone-resident qubits still there
+	lookahead map[int]int, // gate index → partner qubit for next stage
+	delta int,
+) (map[int]arch.SiteRef, float64, error) {
+	if len(gateIdx) == 0 {
+		return map[int]arch.SiteRef{}, 0, nil
+	}
+	maxDelta := delta
+	for _, z := range a.Entanglement {
+		if z.SiteRows() > maxDelta {
+			maxDelta = z.SiteRows()
+		}
+		if z.SiteCols() > maxDelta {
+			maxDelta = z.SiteCols()
+		}
+	}
+	for d := delta; d <= maxDelta; d *= 2 {
+		assign, cost, err := tryGatePlacement(a, gates, gateIdx, pos, reserved, held, lookahead, d)
+		if err == nil {
+			return assign, cost, nil
+		}
+		if err != matching.ErrNoFullMatching {
+			return nil, 0, err
+		}
+	}
+	return nil, 0, fmt.Errorf("place: cannot place %d gates even over the whole entanglement zone(s)", len(gateIdx))
+}
+
+func tryGatePlacement(
+	a *arch.Architecture,
+	gates []circuit.Gate,
+	gateIdx []int,
+	pos []Pos,
+	reserved map[arch.SiteRef]bool,
+	held map[arch.SiteRef][]int,
+	lookahead map[int]int,
+	delta int,
+) (map[int]arch.SiteRef, float64, error) {
+	// Union of candidate sites across gates.
+	siteIndex := map[arch.SiteRef]int{}
+	var sites []arch.SiteRef
+	perGate := make([][]arch.SiteRef, len(gateIdx))
+	gatePts := func(g circuit.Gate) []geom.Point {
+		pts := make([]geom.Point, len(g.Qubits))
+		for i, q := range g.Qubits {
+			pts[i] = pos[q].Point(a)
+		}
+		return pts
+	}
+	for k, gi := range gateIdx {
+		cands := candidateSites(a, gatePts(gates[gi]), delta, reserved)
+		perGate[k] = cands
+		for _, s := range cands {
+			if _, ok := siteIndex[s]; !ok {
+				siteIndex[s] = len(sites)
+				sites = append(sites, s)
+			}
+		}
+	}
+	if len(sites) < len(gateIdx) {
+		return nil, 0, matching.ErrNoFullMatching
+	}
+	inf := math.Inf(1)
+	cost := make([][]float64, len(gateIdx))
+	for k := range cost {
+		cost[k] = make([]float64, len(sites))
+		for j := range cost[k] {
+			cost[k][j] = inf
+		}
+	}
+	for k, gi := range gateIdx {
+		g := gates[gi]
+		pts := gatePts(g)
+		inGate := func(q int) bool {
+			for _, gq := range g.Qubits {
+				if gq == q {
+					return true
+				}
+			}
+			return false
+		}
+		for _, s := range perGate[k] {
+			// A site held by a foreign zone-resident qubit is unavailable;
+			// held by this gate's own qubits is fine (the qubit stays put).
+			foreign := false
+			for _, hq := range held[s] {
+				if !inGate(hq) {
+					foreign = true
+					break
+				}
+			}
+			if foreign {
+				continue
+			}
+			sp := a.SitePos(s)
+			w := gateCost(a, sp, pts...)
+			if partner, ok := lookahead[gi]; ok {
+				w += moveCost(a, pos[partner].Point(a), sp)
+			}
+			cost[k][siteIndex[s]] = w
+		}
+	}
+	rowTo, total, err := matching.MinWeightFullMatching(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	assign := make(map[int]arch.SiteRef, len(gateIdx))
+	for k, gi := range gateIdx {
+		assign[gi] = sites[rowTo[k]]
+	}
+	return assign, total, nil
+}
+
+// returnPlacement assigns storage traps to the qubits leaving the
+// entanglement zone (paper §V-B3): candidates are the empty traps inside the
+// bounding box spanned by (1) the qubit's original storage trap, (2) the
+// k-neighborhood of the storage trap nearest its current site, and (3) the
+// trap nearest its related qubit; edge weights follow Eq. 3. Returns the
+// trap per qubit and the matching cost.
+func returnPlacement(
+	a *arch.Architecture,
+	qubits []int,
+	pos []Pos,
+	home []arch.TrapRef,
+	related map[int]int, // qubit → partner in the next Rydberg stage
+	occupied map[arch.TrapRef]int,
+	k int,
+	alpha float64,
+) (map[int]arch.TrapRef, float64, error) {
+	if len(qubits) == 0 {
+		return map[int]arch.TrapRef{}, 0, nil
+	}
+	for attempt, kk := 0, k; attempt < 4; attempt, kk = attempt+1, kk*2+1 {
+		assign, cost, err := tryReturnPlacement(a, qubits, pos, home, related, occupied, kk, alpha, attempt == 3)
+		if err == nil {
+			return assign, cost, nil
+		}
+		if err != matching.ErrNoFullMatching {
+			return nil, 0, err
+		}
+	}
+	return nil, 0, fmt.Errorf("place: cannot return %d qubits to storage", len(qubits))
+}
+
+func tryReturnPlacement(
+	a *arch.Architecture,
+	qubits []int,
+	pos []Pos,
+	home []arch.TrapRef,
+	related map[int]int,
+	occupied map[arch.TrapRef]int,
+	k int,
+	alpha float64,
+	allTraps bool,
+) (map[int]arch.TrapRef, float64, error) {
+	trapIndex := map[arch.TrapRef]int{}
+	var traps []arch.TrapRef
+	addTrap := func(t arch.TrapRef) {
+		if _, taken := occupied[t]; taken {
+			return
+		}
+		if _, ok := trapIndex[t]; !ok {
+			trapIndex[t] = len(traps)
+			traps = append(traps, t)
+		}
+	}
+
+	perQubit := make([][]arch.TrapRef, len(qubits))
+	for i, q := range qubits {
+		var cands []arch.TrapRef
+		if allTraps {
+			for _, t := range a.AllStorageTraps() {
+				if _, taken := occupied[t]; !taken {
+					cands = append(cands, t)
+				}
+			}
+		} else {
+			cands = candidateTraps(a, q, pos, home, related, occupied, k)
+		}
+		perQubit[i] = cands
+		for _, t := range cands {
+			addTrap(t)
+		}
+	}
+	if len(traps) < len(qubits) {
+		return nil, 0, matching.ErrNoFullMatching
+	}
+	inf := math.Inf(1)
+	cost := make([][]float64, len(qubits))
+	for i := range cost {
+		cost[i] = make([]float64, len(traps))
+		for j := range cost[i] {
+			cost[i][j] = inf
+		}
+	}
+	for i, q := range qubits {
+		cur := pos[q].Point(a)
+		for _, t := range perQubit[i] {
+			w := moveCost(a, cur, a.TrapPos(t))
+			// A non-positive α disables the lookahead term (used by the
+			// parameter-sweep ablation).
+			if partner, ok := related[q]; ok && alpha > 0 {
+				w += alpha * moveCost(a, pos[partner].Point(a), a.TrapPos(t))
+			}
+			cost[i][trapIndex[t]] = w
+		}
+	}
+	rowTo, total, err := matching.MinWeightFullMatching(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	assign := make(map[int]arch.TrapRef, len(qubits))
+	for i, q := range qubits {
+		assign[q] = traps[rowTo[i]]
+	}
+	return assign, total, nil
+}
+
+// candidateTraps builds S_cand^q for one qubit: empty traps inside the
+// bounding box of the three anchor trap groups (paper Fig. 6c).
+func candidateTraps(
+	a *arch.Architecture,
+	q int,
+	pos []Pos,
+	home []arch.TrapRef,
+	related map[int]int,
+	occupied map[arch.TrapRef]int,
+	k int,
+) []arch.TrapRef {
+	cur := pos[q].Point(a)
+	box := geom.NewBBox()
+	var anchors []arch.TrapRef
+
+	// (1) original storage trap
+	anchors = append(anchors, home[q])
+	// (2) nearest storage trap to the current site plus k-neighbors along
+	// its row and column
+	nearest := a.NearestStorageTrap(cur)
+	anchors = append(anchors, nearest)
+	z := a.Storage[nearest.Zone].SLMs[nearest.SLM]
+	for d := 1; d <= k; d++ {
+		for _, t := range []arch.TrapRef{
+			{Zone: nearest.Zone, SLM: nearest.SLM, Row: nearest.Row, Col: nearest.Col - d},
+			{Zone: nearest.Zone, SLM: nearest.SLM, Row: nearest.Row, Col: nearest.Col + d},
+			{Zone: nearest.Zone, SLM: nearest.SLM, Row: nearest.Row - d, Col: nearest.Col},
+			{Zone: nearest.Zone, SLM: nearest.SLM, Row: nearest.Row + d, Col: nearest.Col},
+		} {
+			if z.InRange(t.Row, t.Col) {
+				anchors = append(anchors, t)
+			}
+		}
+	}
+	// (3) nearest trap to the related qubit
+	if partner, ok := related[q]; ok {
+		anchors = append(anchors, a.NearestStorageTrap(pos[partner].Point(a)))
+	}
+
+	for _, t := range anchors {
+		box.Extend(a.TrapPos(t))
+	}
+	// Collect the empty traps inside the bounding box. Restrict the scan to
+	// the storage SLM arrays that intersect the box.
+	var out []arch.TrapRef
+	for zi, zz := range a.Storage {
+		for si, s := range zz.SLMs {
+			rLo, cLo := s.NearestTrap(geom.Point{X: box.MinX, Y: box.MinY})
+			rHi, cHi := s.NearestTrap(geom.Point{X: box.MaxX, Y: box.MaxY})
+			for r := min(rLo, rHi); r <= max(rLo, rHi); r++ {
+				for c := min(cLo, cHi); c <= max(cLo, cHi); c++ {
+					t := arch.TrapRef{Zone: zi, SLM: si, Row: r, Col: c}
+					if !box.Contains(s.TrapPos(r, c)) {
+						continue
+					}
+					if _, taken := occupied[t]; !taken {
+						out = append(out, t)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

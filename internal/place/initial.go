@@ -1,0 +1,174 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"zac/internal/anneal"
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/geom"
+)
+
+// TrivialInitial places qubits sequentially by index starting from the first
+// storage trap in the row nearest to the (first) entanglement zone — the
+// paper's 'Vanilla' initial placement (§VII-D).
+func TrivialInitial(a *arch.Architecture, numQubits int) ([]arch.TrapRef, error) {
+	if numQubits > a.TotalStorageTraps() {
+		return nil, fmt.Errorf("place: %d qubits exceed %d storage traps", numQubits, a.TotalStorageTraps())
+	}
+	entY := a.Entanglement[0].Offset.Y
+	traps := a.AllStorageTraps()
+	// Sort rows by distance to the entanglement zone, then columns ascending.
+	sort.Slice(traps, func(i, j int) bool {
+		pi, pj := a.TrapPos(traps[i]), a.TrapPos(traps[j])
+		di, dj := math.Abs(pi.Y-entY), math.Abs(pj.Y-entY)
+		if di != dj {
+			return di < dj
+		}
+		return pi.X < pj.X
+	})
+	out := make([]arch.TrapRef, numQubits)
+	copy(out, traps[:numQubits])
+	return out, nil
+}
+
+// gateForCost is a precomputed 2Q-gate record for the SA objective.
+type gateForCost struct {
+	q1, q2 int
+	weight float64 // w_g = max(0.1, 1 − 0.1(t−1)), t = Rydberg stage (1-based)
+}
+
+// collectWeightedGates extracts every CZ with its stage-decay weight (Eq. 2).
+func collectWeightedGates(s *circuit.Staged) []gateForCost {
+	var gates []gateForCost
+	stage := 0
+	for _, st := range s.Stages {
+		if st.Kind != circuit.RydbergStage {
+			continue
+		}
+		stage++
+		w := math.Max(0.1, 1-0.1*float64(stage-1))
+		for _, g := range st.Gates {
+			gates = append(gates, gateForCost{q1: g.Qubits[0], q2: g.Qubits[1], weight: w})
+		}
+	}
+	return gates
+}
+
+// saState is the annealing state: an injective map qubit → storage trap.
+type saState struct {
+	a      *arch.Architecture
+	gates  []gateForCost
+	trapOf []arch.TrapRef
+	pts    []geom.Point // cached physical positions per qubit
+	// free traps for jump moves
+	free []arch.TrapRef
+	occ  map[arch.TrapRef]int // trap → qubit
+}
+
+func (s *saState) Cost() float64 {
+	total := 0.0
+	for _, g := range s.gates {
+		p1, p2 := s.pts[g.q1], s.pts[g.q2]
+		site := s.a.SitePos(nearSiteForGate(s.a, p1, p2))
+		total += g.weight * gateCost(s.a, site, p1, p2)
+	}
+	return total
+}
+
+func (s *saState) Propose(r *rand.Rand) func() {
+	n := len(s.trapOf)
+	q := r.Intn(n)
+	if len(s.free) > 0 && r.Float64() < 0.5 {
+		// Jump to a random empty trap.
+		fi := r.Intn(len(s.free))
+		newTrap := s.free[fi]
+		oldTrap := s.trapOf[q]
+		s.free[fi] = oldTrap
+		delete(s.occ, oldTrap)
+		s.occ[newTrap] = q
+		s.trapOf[q] = newTrap
+		s.pts[q] = s.a.TrapPos(newTrap)
+		return func() {
+			s.free[fi] = newTrap
+			delete(s.occ, newTrap)
+			s.occ[oldTrap] = q
+			s.trapOf[q] = oldTrap
+			s.pts[q] = s.a.TrapPos(oldTrap)
+		}
+	}
+	// Swap two qubits' traps.
+	q2 := r.Intn(n)
+	for q2 == q && n > 1 {
+		q2 = r.Intn(n)
+	}
+	t1, t2 := s.trapOf[q], s.trapOf[q2]
+	swap := func() {
+		s.trapOf[q], s.trapOf[q2] = s.trapOf[q2], s.trapOf[q]
+		s.occ[s.trapOf[q]] = q
+		s.occ[s.trapOf[q2]] = q2
+		s.pts[q] = s.a.TrapPos(s.trapOf[q])
+		s.pts[q2] = s.a.TrapPos(s.trapOf[q2])
+	}
+	swap()
+	_ = t1
+	_ = t2
+	return swap
+}
+
+// SAInitial refines the trivial initial placement with simulated annealing
+// over Eq. 2 (paper §V-A; 1000-iteration limit by default). The candidate
+// trap pool is restricted to a neighborhood of the trivial placement large
+// enough to cover every qubit plus slack, keeping the search local — in the
+// reference architecture qubits occupy the storage rows nearest to the
+// entanglement zone.
+func SAInitial(a *arch.Architecture, staged *circuit.Staged, iterations int, r *rand.Rand) ([]arch.TrapRef, error) {
+	base, err := TrivialInitial(a, staged.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	gates := collectWeightedGates(staged)
+	if len(gates) == 0 || iterations <= 0 {
+		return base, nil
+	}
+
+	// Candidate pool: the traps of the trivial placement plus the next rows
+	// of slack (2× the qubit count), in the same nearest-row-first order.
+	entY := a.Entanglement[0].Offset.Y
+	all := a.AllStorageTraps()
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := a.TrapPos(all[i]), a.TrapPos(all[j])
+		di, dj := math.Abs(pi.Y-entY), math.Abs(pj.Y-entY)
+		if di != dj {
+			return di < dj
+		}
+		return pi.X < pj.X
+	})
+	poolSize := staged.NumQubits * 2
+	if poolSize > len(all) {
+		poolSize = len(all)
+	}
+	pool := all[:poolSize]
+
+	st := &saState{
+		a:      a,
+		gates:  gates,
+		trapOf: append([]arch.TrapRef(nil), base...),
+		pts:    make([]geom.Point, staged.NumQubits),
+		occ:    make(map[arch.TrapRef]int, staged.NumQubits),
+	}
+	for q, t := range st.trapOf {
+		st.pts[q] = a.TrapPos(t)
+		st.occ[t] = q
+	}
+	for _, t := range pool {
+		if _, taken := st.occ[t]; !taken {
+			st.free = append(st.free, t)
+		}
+	}
+	anneal.Run(st, anneal.Options{Iterations: iterations}, r)
+	return st.trapOf, nil
+}

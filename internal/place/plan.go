@@ -1,0 +1,558 @@
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+)
+
+// Options selects the placement strategy; the four ablation settings of the
+// paper's Fig. 11 correspond to:
+//
+//	Vanilla:            UseSA=false Dynamic=false Reuse=false
+//	dynPlace:           UseSA=false Dynamic=true  Reuse=false
+//	dynPlace+reuse:     UseSA=false Dynamic=true  Reuse=true
+//	SA+dynPlace+reuse:  UseSA=true  Dynamic=true  Reuse=true  (full ZAC)
+type Options struct {
+	UseSA   bool
+	Dynamic bool
+	Reuse   bool
+	// AdvancedReuse additionally keeps every qubit that the next Rydberg
+	// stage needs inside the entanglement zone, moving it directly between
+	// Rydberg sites instead of round-tripping through storage — the paper's
+	// §X future-work optimization ("allowing movements within entanglement
+	// zones for more advanced qubit reuse"). Implies Reuse.
+	AdvancedReuse bool
+	SAIterations  int     // default 1000 (paper §V-A)
+	Expansion     int     // δ candidate-box half-width (default 2)
+	KNeighbors    int     // k for return candidates (default 2)
+	Alpha         float64 // lookahead weight α (default 0.1, Eq. 3)
+	Seed          int64
+}
+
+// Default returns the full ZAC configuration.
+func Default() Options {
+	return Options{UseSA: true, Dynamic: true, Reuse: true,
+		SAIterations: 1000, Expansion: 2, KNeighbors: 2, Alpha: 0.1, Seed: 1}
+}
+
+func (o *Options) fill() {
+	if o.SAIterations <= 0 {
+		o.SAIterations = 1000
+	}
+	if o.Expansion <= 0 {
+		o.Expansion = 2
+	}
+	if o.KNeighbors <= 0 {
+		o.KNeighbors = 2
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.1
+	}
+}
+
+// Step is the placement outcome for one Rydberg stage: the gate→site
+// assignment, which gates reuse their site from the previous stage, the
+// movements into the entanglement zone before the stage, and the movements
+// back to storage after it.
+type Step struct {
+	StageIdx int // index into Staged.Stages
+	Gates    []circuit.Gate
+	Sites    []arch.SiteRef
+	Slots    [][]int // per gate: site slot of each of its qubits
+	Reused   []bool
+	MovesIn  []Move
+	MovesOut []Move
+}
+
+// NumReused counts reused gates in the step.
+func (s *Step) NumReused() int {
+	n := 0
+	for _, r := range s.Reused {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// Plan is the complete placement of a staged circuit on an architecture.
+type Plan struct {
+	Arch      *arch.Architecture
+	Staged    *circuit.Staged
+	NumQubits int
+	Initial   []arch.TrapRef
+	Steps     []Step
+}
+
+// TotalMoves counts individual qubit movements across the plan.
+func (p *Plan) TotalMoves() int {
+	n := 0
+	for _, s := range p.Steps {
+		n += len(s.MovesIn) + len(s.MovesOut)
+	}
+	return n
+}
+
+// TotalReused counts reused gates across the plan.
+func (p *Plan) TotalReused() int {
+	n := 0
+	for i := range p.Steps {
+		n += p.Steps[i].NumReused()
+	}
+	return n
+}
+
+// planner carries the evolving placement state.
+type planner struct {
+	a        *arch.Architecture
+	staged   *circuit.Staged
+	opts     Options
+	pos      []Pos                // current position per qubit
+	home     []arch.TrapRef       // last storage trap per qubit
+	occupied map[arch.TrapRef]int // storage occupancy
+}
+
+// BuildPlan runs the full placement pipeline (§V).
+func BuildPlan(a *arch.Architecture, staged *circuit.Staged, opts Options) (*Plan, error) {
+	opts.fill()
+	if err := staged.Validate(); err != nil {
+		return nil, err
+	}
+	if staged.NumQubits > a.TotalStorageTraps() {
+		return nil, fmt.Errorf("place: circuit needs %d qubits but architecture stores %d",
+			staged.NumQubits, a.TotalStorageTraps())
+	}
+
+	var initial []arch.TrapRef
+	var err error
+	if opts.UseSA {
+		r := rand.New(rand.NewSource(opts.Seed))
+		initial, err = SAInitial(a, staged, opts.SAIterations, r)
+	} else {
+		initial, err = TrivialInitial(a, staged.NumQubits)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	pl := &planner{
+		a: a, staged: staged, opts: opts,
+		pos:      make([]Pos, staged.NumQubits),
+		home:     append([]arch.TrapRef(nil), initial...),
+		occupied: make(map[arch.TrapRef]int, staged.NumQubits),
+	}
+	for q, t := range initial {
+		pl.pos[q] = StoragePos(t)
+		pl.occupied[t] = q
+	}
+
+	plan := &Plan{Arch: a, Staged: staged, NumQubits: staged.NumQubits, Initial: initial}
+	ryd := staged.RydbergStages()
+	for t, si := range ryd {
+		cur := staged.Stages[si].Gates
+		var next []circuit.Gate
+		if t+1 < len(ryd) {
+			next = staged.Stages[ryd[t+1]].Gates
+		}
+		var prev *Step
+		if len(plan.Steps) > 0 {
+			prev = &plan.Steps[len(plan.Steps)-1]
+		}
+
+		sol, err := pl.solveTransition(prev, cur, next, opts.Reuse && prev != nil)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Reuse && prev != nil {
+			alt, altErr := pl.solveTransition(prev, cur, next, false)
+			if altErr == nil && alt.cost < sol.cost {
+				sol = alt
+			}
+		}
+		pl.commit(prev, sol)
+		plan.Steps = append(plan.Steps, Step{
+			StageIdx: si,
+			Gates:    cur,
+			Sites:    sol.sites,
+			Slots:    sol.slots,
+			Reused:   sol.reused,
+			MovesIn:  sol.movesIn,
+		})
+	}
+
+	// Final returns: everything still in the entanglement zone goes home.
+	if len(plan.Steps) > 0 {
+		last := &plan.Steps[len(plan.Steps)-1]
+		sol, err := pl.solveReturns(last, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		pl.applyReturns(sol)
+		last.MovesOut = sol
+	}
+	return plan, nil
+}
+
+// transitionSolution is one candidate outcome of a stage transition.
+type transitionSolution struct {
+	sites    []arch.SiteRef
+	slots    [][]int
+	reused   []bool
+	movesIn  []Move
+	movesOut []Move // returns emitted after the *previous* stage
+	cost     float64
+}
+
+// solveTransition places the gates of cur (optionally reusing sites from
+// prev) and computes the returns of the prev-stage qubits that do not stay.
+// Under advanced reuse it retries with offending qubits banned from staying
+// until the in-zone movement graph is acyclic (cyclic trap swaps cannot be
+// realized by sequential rearrangement jobs).
+func (pl *planner) solveTransition(prev *Step, cur, next []circuit.Gate, useReuse bool) (transitionSolution, error) {
+	banned := map[int]bool{}
+	for attempt := 0; ; attempt++ {
+		sol, err := pl.solveTransitionOnce(prev, cur, next, useReuse, banned)
+		if err != nil {
+			return sol, err
+		}
+		q, cyclic := findMoveCycle(sol.movesIn)
+		if !cyclic || attempt >= 2*len(cur)+4 {
+			return sol, nil
+		}
+		banned[q] = true
+	}
+}
+
+// findMoveCycle looks for a cycle in the trap-succession graph of in-zone
+// moves (move a feeds move b when a's target trap is b's source trap) and
+// returns one participating qubit.
+func findMoveCycle(moves []Move) (int, bool) {
+	bySource := map[Pos]int{} // source position → move index (zone moves only)
+	var zone []int
+	for i, m := range moves {
+		if !m.From.InStorage {
+			bySource[m.From] = i
+			zone = append(zone, i)
+		}
+	}
+	state := map[int]int{} // 0 unvisited, 1 in-stack, 2 done
+	var walk func(i int) (int, bool)
+	walk = func(i int) (int, bool) {
+		state[i] = 1
+		if j, ok := bySource[moves[i].To]; ok && j != i {
+			switch state[j] {
+			case 1:
+				return moves[j].Qubit, true
+			case 0:
+				if q, found := walk(j); found {
+					return q, true
+				}
+			}
+		}
+		state[i] = 2
+		return 0, false
+	}
+	for _, i := range zone {
+		if state[i] == 0 {
+			if q, found := walk(i); found {
+				return q, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// solveTransitionOnce performs one placement attempt with the given set of
+// qubits banned from advanced staying.
+func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, useReuse bool, banned map[int]bool) (transitionSolution, error) {
+	a := pl.a
+	sol := transitionSolution{
+		sites:  make([]arch.SiteRef, len(cur)),
+		slots:  make([][]int, len(cur)),
+		reused: make([]bool, len(cur)),
+	}
+
+	// 1. Reuse matching against the previous stage.
+	reuseOf := make([]int, len(cur))
+	for j := range reuseOf {
+		reuseOf[j] = -1
+	}
+	if useReuse && prev != nil {
+		reuseOf = reuseMatch(prev.Gates, cur)
+	}
+	reserved := map[arch.SiteRef]bool{}
+	stay := map[int]bool{} // qubits that keep their site
+	for j, pi := range reuseOf {
+		if pi < 0 {
+			continue
+		}
+		sol.reused[j] = true
+		sol.sites[j] = prev.Sites[pi]
+		reserved[prev.Sites[pi]] = true
+		for _, q := range cur[j].Qubits {
+			for _, pq := range prev.Gates[pi].Qubits {
+				if q == pq {
+					stay[q] = true
+				}
+			}
+		}
+	}
+	// Advanced reuse (§X): every zone-resident qubit the current stage
+	// needs skips the storage round trip and moves directly between sites
+	// (unless banned by the caller to break a trap-dependency cycle). Their
+	// current sites are held until they vacate, so foreign gates must not
+	// target those sites within the same movement phase.
+	held := map[arch.SiteRef][]int{}
+	if useReuse && pl.opts.AdvancedReuse && prev != nil {
+		for _, g := range cur {
+			for _, q := range g.Qubits {
+				if !pl.pos[q].InStorage && !banned[q] {
+					stay[q] = true
+				}
+			}
+		}
+		for _, g := range cur {
+			for _, q := range g.Qubits {
+				if stay[q] && !pl.pos[q].InStorage {
+					held[pl.pos[q].Site] = append(held[pl.pos[q].Site], q)
+				}
+			}
+		}
+	}
+
+	// 2. Returns for the previous stage's non-staying qubits. These execute
+	// before the moves into the current stage, so gate placement and
+	// moves-in below must see post-return positions.
+	if prev != nil {
+		returns, err := pl.solveReturns(prev, stay, cur)
+		if err != nil {
+			return sol, err
+		}
+		sol.movesOut = returns
+	}
+	posView := append([]Pos(nil), pl.pos...)
+	for _, m := range sol.movesOut {
+		posView[m.Qubit] = m.To
+	}
+
+	// 3. Provisional lookahead matching cur → next for the §V-B2 cost term.
+	lookahead := map[int]int{}
+	if useReuse && len(next) > 0 {
+		la := reuseMatch(cur, next)
+		for nj, cj := range la {
+			if cj < 0 {
+				continue
+			}
+			// partner = the qubit of next[nj] not shared with cur[cj]
+			for _, q := range next[nj].Qubits {
+				if q != cur[cj].Qubits[0] && q != cur[cj].Qubits[1] {
+					lookahead[cj] = q
+				}
+			}
+		}
+	}
+
+	// 4. Gate placement for non-reused gates.
+	var gateIdx []int
+	for j := range cur {
+		if !sol.reused[j] {
+			gateIdx = append(gateIdx, j)
+		}
+	}
+	assign, _, err := gatePlacement(a, cur, gateIdx, posView, reserved, held, lookahead, pl.opts.Expansion)
+	if err != nil {
+		return sol, err
+	}
+	for j, s := range assign {
+		sol.sites[j] = s
+	}
+
+	// 5. Slot assignment and moves-in (from post-return positions). A qubit
+	// already sitting at the gate's assigned site keeps its slot, so its
+	// (possibly zero-length) move never conflicts with its partner's drop
+	// within the same movement phase; this covers both classic reuse (the
+	// staying qubit) and advanced reuse (zone residents from other sites).
+	// Remaining qubits take the free slots left-to-right by current x
+	// position, for any site arity (multi-trap sites, §III).
+	for j, g := range cur {
+		sol.slots[j] = assignSlots(a, g.Qubits, posView, sol.sites[j])
+		for k, q := range g.Qubits {
+			target := SitePos(sol.sites[j], sol.slots[j][k])
+			if !posView[q].SameLocation(target) {
+				sol.movesIn = append(sol.movesIn, Move{Qubit: q, From: posView[q], To: target})
+			}
+		}
+	}
+
+	// 6. Solution cost: the √distance surrogate summed over all movements.
+	for _, m := range sol.movesIn {
+		sol.cost += moveCost(a, m.From.Point(a), m.To.Point(a))
+	}
+	for _, m := range sol.movesOut {
+		sol.cost += moveCost(a, m.From.Point(a), m.To.Point(a))
+	}
+	return sol, nil
+}
+
+// assignSlots maps a gate's qubits to site slots: qubits already at the
+// site keep their slot; the rest take the free slots in ascending order,
+// matched to qubits in ascending current-x order.
+func assignSlots(a *arch.Architecture, qubits []int, pos []Pos, site arch.SiteRef) []int {
+	slots := make([]int, len(qubits))
+	taken := map[int]bool{}
+	pending := make([]int, 0, len(qubits)) // indices into qubits
+	for k, q := range qubits {
+		if !pos[q].InStorage && pos[q].Site == site {
+			slots[k] = pos[q].Slot
+			taken[pos[q].Slot] = true
+		} else {
+			pending = append(pending, k)
+		}
+	}
+	// Order pending qubits by current x.
+	sort.Slice(pending, func(i, j int) bool {
+		return pos[qubits[pending[i]]].Point(a).X < pos[qubits[pending[j]]].Point(a).X
+	})
+	next := 0
+	for _, k := range pending {
+		for taken[next] {
+			next++
+		}
+		slots[k] = next
+		taken[next] = true
+	}
+	return slots
+}
+
+// solveReturns computes the storage returns for every qubit of prev that is
+// not in the stay set, using dynamic matching (§V-B3) or the static home
+// trap, with cur (the upcoming stage) defining related qubits.
+func (pl *planner) solveReturns(prev *Step, stay map[int]bool, cur []circuit.Gate) ([]Move, error) {
+	a := pl.a
+	var leaving []int
+	for _, g := range prev.Gates {
+		for _, q := range g.Qubits {
+			if !stay[q] && !pl.pos[q].InStorage {
+				leaving = append(leaving, q)
+			}
+		}
+	}
+	if len(leaving) == 0 {
+		return nil, nil
+	}
+	related := map[int]int{}
+	for _, g := range cur {
+		q1, q2 := g.Qubits[0], g.Qubits[1]
+		related[q1] = q2
+		related[q2] = q1
+	}
+
+	var moves []Move
+	if pl.opts.Dynamic {
+		assign, _, err := returnPlacement(a, leaving, pl.pos, pl.home, related, pl.occupied, pl.opts.KNeighbors, pl.opts.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range leaving {
+			moves = append(moves, Move{Qubit: q, From: pl.pos[q], To: StoragePos(assign[q])})
+		}
+	} else {
+		for _, q := range leaving {
+			moves = append(moves, Move{Qubit: q, From: pl.pos[q], To: StoragePos(pl.home[q])})
+		}
+	}
+	return moves, nil
+}
+
+// commit applies a chosen transition: attach returns to the previous step,
+// update positions, occupancy and home traps.
+func (pl *planner) commit(prev *Step, sol transitionSolution) {
+	if prev != nil {
+		prev.MovesOut = sol.movesOut
+		pl.applyReturns(sol.movesOut)
+	}
+	for _, m := range sol.movesIn {
+		if m.From.InStorage {
+			delete(pl.occupied, m.From.Trap)
+		}
+		pl.pos[m.Qubit] = m.To
+	}
+}
+
+// applyReturns updates state for storage returns.
+func (pl *planner) applyReturns(moves []Move) {
+	for _, m := range moves {
+		pl.pos[m.Qubit] = m.To
+		pl.occupied[m.To.Trap] = m.Qubit
+		pl.home[m.Qubit] = m.To.Trap
+	}
+}
+
+// Validate checks plan invariants: every stage's gates sit at distinct
+// sites, moves are consistent with positions, and no two qubits ever occupy
+// the same trap between stages. Used by tests and callers as a safety net.
+func (p *Plan) Validate() error {
+	pos := make([]Pos, p.NumQubits)
+	occ := map[arch.TrapRef]int{}
+	for q, t := range p.Initial {
+		pos[q] = StoragePos(t)
+		if prev, taken := occ[t]; taken {
+			return fmt.Errorf("place: initial traps collide for qubits %d and %d", prev, q)
+		}
+		occ[t] = q
+	}
+	for si, step := range p.Steps {
+		if len(step.Sites) != len(step.Gates) || len(step.Slots) != len(step.Gates) || len(step.Reused) != len(step.Gates) {
+			return fmt.Errorf("place: step %d has inconsistent lengths", si)
+		}
+		seenSite := map[arch.SiteRef]int{}
+		for gi, s := range step.Sites {
+			if prev, dup := seenSite[s]; dup {
+				return fmt.Errorf("place: step %d gates %d and %d share site %+v", si, prev, gi, s)
+			}
+			seenSite[s] = gi
+		}
+		for _, m := range step.MovesIn {
+			if !pos[m.Qubit].SameLocation(m.From) {
+				return fmt.Errorf("place: step %d move-in of qubit %d from stale position", si, m.Qubit)
+			}
+			if m.From.InStorage {
+				delete(occ, m.From.Trap)
+			}
+			pos[m.Qubit] = m.To
+		}
+		// At Rydberg time every gate qubit must be at its assigned slot.
+		for gi, g := range step.Gates {
+			for k, q := range g.Qubits {
+				want := SitePos(step.Sites[gi], step.Slots[gi][k])
+				if !pos[q].SameLocation(want) {
+					return fmt.Errorf("place: step %d gate %d qubit %d not at its site", si, gi, q)
+				}
+			}
+		}
+		for _, m := range step.MovesOut {
+			if !pos[m.Qubit].SameLocation(m.From) {
+				return fmt.Errorf("place: step %d move-out of qubit %d from stale position", si, m.Qubit)
+			}
+			if !m.To.InStorage {
+				return fmt.Errorf("place: step %d move-out of qubit %d not to storage", si, m.Qubit)
+			}
+			if prev, taken := occ[m.To.Trap]; taken {
+				return fmt.Errorf("place: step %d return collides with qubit %d at trap %+v", si, prev, m.To.Trap)
+			}
+			occ[m.To.Trap] = m.Qubit
+			pos[m.Qubit] = m.To
+		}
+	}
+	// After the final step everything must be back in storage.
+	for q := range pos {
+		if !pos[q].InStorage {
+			return fmt.Errorf("place: qubit %d left in the entanglement zone at program end", q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,472 @@
+// Package qasm implements a parser and writer for the OpenQASM 2.0 subset
+// that QASMBench programs use: qreg/creg declarations, the standard gate
+// vocabulary (with qelib1.inc treated as built-in), measure and barrier.
+// Gate parameters support the arithmetic QASMBench emits: numbers, pi,
+// + - * / and unary minus, and parentheses.
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"zac/internal/circuit"
+)
+
+// Parse parses OpenQASM 2.0 source into a circuit. Multiple qregs are
+// concatenated into one qubit index space in declaration order. Classical
+// registers are accepted and ignored except as measure targets.
+func Parse(src string) (*circuit.Circuit, error) {
+	p := &parser{src: src}
+	return p.parse()
+}
+
+type parser struct {
+	src  string
+	line int
+
+	regs    map[string]regInfo
+	nQubits int
+	out     *circuit.Circuit
+}
+
+type regInfo struct {
+	offset, size int
+}
+
+var gateKinds = map[string]circuit.Kind{
+	"u3": circuit.U3, "u": circuit.U3, "u2": circuit.U2, "u1": circuit.U1,
+	"p": circuit.U1, "id": circuit.ID, "h": circuit.H, "x": circuit.X,
+	"y": circuit.Y, "z": circuit.Z, "s": circuit.S, "sdg": circuit.Sdg,
+	"t": circuit.T, "tdg": circuit.Tdg, "rx": circuit.RX, "ry": circuit.RY,
+	"rz": circuit.RZ, "cx": circuit.CX, "cy": circuit.CY, "cz": circuit.CZ,
+	"swap": circuit.SWAP, "ccx": circuit.CCX, "ccz": circuit.CCZ,
+	"cswap": circuit.CSWAP, "cp": circuit.CP, "cu1": circuit.CP,
+	"crx": circuit.CRX, "cry": circuit.CRY, "crz": circuit.CRZ,
+	"rzz": circuit.RZZ, "rxx": circuit.RXX,
+}
+
+func (p *parser) parse() (*circuit.Circuit, error) {
+	p.regs = map[string]regInfo{}
+	p.out = circuit.New("qasm", 1)
+
+	src := stripComments(p.src)
+	// Statements are ';'-terminated.
+	for _, stmt := range strings.Split(src, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		p.line++
+		if err := p.statement(stmt); err != nil {
+			return nil, fmt.Errorf("qasm: statement %d (%q): %w", p.line, stmt, err)
+		}
+	}
+	if p.nQubits == 0 {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	p.out.NumQubits = p.nQubits
+	if err := p.out.Validate(); err != nil {
+		return nil, err
+	}
+	return p.out, nil
+}
+
+func stripComments(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (p *parser) statement(stmt string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"), strings.HasPrefix(stmt, "include"):
+		return nil
+	case strings.HasPrefix(stmt, "qreg"):
+		return p.declare(stmt[len("qreg"):])
+	case strings.HasPrefix(stmt, "creg"):
+		return nil // classical registers are ignored
+	case strings.HasPrefix(stmt, "barrier"):
+		// Barriers guard all qubits in our model.
+		p.out.Gates = append(p.out.Gates, circuit.Gate{Kind: circuit.Barrier, Qubits: []int{0}})
+		return nil
+	case strings.HasPrefix(stmt, "measure"):
+		rest := strings.TrimSpace(stmt[len("measure"):])
+		// measure q[i] -> c[i]; or measure q -> c;
+		parts := strings.SplitN(rest, "->", 2)
+		qubits, err := p.operand(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		for _, q := range qubits {
+			p.out.Gates = append(p.out.Gates, circuit.Gate{Kind: circuit.Measure, Qubits: []int{q}})
+		}
+		return nil
+	}
+	return p.gate(stmt)
+}
+
+func (p *parser) declare(rest string) error {
+	rest = strings.TrimSpace(rest)
+	name, size, err := splitIndexed(rest)
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		return fmt.Errorf("qreg %s has size %d", name, size)
+	}
+	if _, dup := p.regs[name]; dup {
+		return fmt.Errorf("duplicate qreg %s", name)
+	}
+	p.regs[name] = regInfo{offset: p.nQubits, size: size}
+	p.nQubits += size
+	return nil
+}
+
+// splitIndexed parses "name[k]" returning (name, k).
+func splitIndexed(s string) (string, int, error) {
+	open := strings.IndexByte(s, '[')
+	close := strings.IndexByte(s, ']')
+	if open < 0 || close < open {
+		return "", 0, fmt.Errorf("malformed indexed name %q", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s[open+1 : close]))
+	if err != nil {
+		return "", 0, err
+	}
+	return strings.TrimSpace(s[:open]), n, nil
+}
+
+// operand resolves "q[3]" to one qubit or "q" to the whole register.
+func (p *parser) operand(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if strings.ContainsRune(s, '[') {
+		name, idx, err := splitIndexed(s)
+		if err != nil {
+			return nil, err
+		}
+		reg, ok := p.regs[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown qreg %q", name)
+		}
+		if idx < 0 || idx >= reg.size {
+			return nil, fmt.Errorf("index %d out of range for qreg %s[%d]", idx, name, reg.size)
+		}
+		return []int{reg.offset + idx}, nil
+	}
+	reg, ok := p.regs[s]
+	if !ok {
+		return nil, fmt.Errorf("unknown qreg %q", s)
+	}
+	qs := make([]int, reg.size)
+	for i := range qs {
+		qs[i] = reg.offset + i
+	}
+	return qs, nil
+}
+
+func (p *parser) gate(stmt string) error {
+	// name(params)? operand(,operand)*
+	head := stmt
+	var params []float64
+	if i := strings.IndexByte(stmt, '('); i >= 0 {
+		depth := 0
+		end := -1
+		for j := i; j < len(stmt); j++ {
+			switch stmt[j] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					end = j
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unbalanced parentheses")
+		}
+		var err error
+		params, err = parseParams(stmt[i+1 : end])
+		if err != nil {
+			return err
+		}
+		head = stmt[:i] + " " + stmt[end+1:]
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed gate statement")
+	}
+	name := fields[0]
+	kind, ok := gateKinds[name]
+	if !ok {
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	operandSrc := strings.Join(fields[1:], "")
+	var operands [][]int
+	for _, o := range strings.Split(operandSrc, ",") {
+		qs, err := p.operand(o)
+		if err != nil {
+			return err
+		}
+		operands = append(operands, qs)
+	}
+	if len(operands) != kind.NumQubits() {
+		// Whole-register broadcast for 1Q gates: h q;
+		if kind.NumQubits() == 1 && len(operands) == 1 {
+			for _, q := range operands[0] {
+				p.out.Append(kind, []int{q}, params...)
+			}
+			return nil
+		}
+		return fmt.Errorf("%s expects %d operands, got %d", name, kind.NumQubits(), len(operands))
+	}
+	// Broadcast: all single-qubit or all same-length registers.
+	width := 1
+	for _, o := range operands {
+		if len(o) > width {
+			width = len(o)
+		}
+	}
+	for w := 0; w < width; w++ {
+		qs := make([]int, len(operands))
+		for k, o := range operands {
+			if len(o) == 1 {
+				qs[k] = o[0]
+			} else if w < len(o) {
+				qs[k] = o[w]
+			} else {
+				return fmt.Errorf("register length mismatch in %s", name)
+			}
+		}
+		if len(params) != kind.NumParams() {
+			return fmt.Errorf("%s expects %d params, got %d", name, kind.NumParams(), len(params))
+		}
+		p.out.Append(kind, qs, params...)
+	}
+	return nil
+}
+
+func parseParams(s string) ([]float64, error) {
+	var out []float64
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		expr := strings.TrimSpace(s[start:end])
+		if expr == "" {
+			return fmt.Errorf("empty parameter")
+		}
+		v, err := evalExpr(expr)
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		return nil
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if err := flush(len(s)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evalExpr evaluates the small arithmetic grammar of QASM parameters:
+// expr := term (('+'|'-') term)*; term := unary (('*'|'/') unary)*;
+// unary := '-' unary | atom; atom := number | 'pi' | '(' expr ')'.
+func evalExpr(s string) (float64, error) {
+	e := &exprParser{s: s}
+	v, err := e.expr()
+	if err != nil {
+		return 0, err
+	}
+	e.skipSpace()
+	if e.pos != len(e.s) {
+		return 0, fmt.Errorf("trailing input in expression %q", s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	s   string
+	pos int
+}
+
+func (e *exprParser) skipSpace() {
+	for e.pos < len(e.s) && (e.s[e.pos] == ' ' || e.s[e.pos] == '\t' || e.s[e.pos] == '\n') {
+		e.pos++
+	}
+}
+
+func (e *exprParser) peek() byte {
+	e.skipSpace()
+	if e.pos >= len(e.s) {
+		return 0
+	}
+	return e.s[e.pos]
+}
+
+func (e *exprParser) expr() (float64, error) {
+	v, err := e.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch e.peek() {
+		case '+':
+			e.pos++
+			t, err := e.term()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case '-':
+			e.pos++
+			t, err := e.term()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) term() (float64, error) {
+	v, err := e.unary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch e.peek() {
+		case '*':
+			e.pos++
+			u, err := e.unary()
+			if err != nil {
+				return 0, err
+			}
+			v *= u
+		case '/':
+			e.pos++
+			u, err := e.unary()
+			if err != nil {
+				return 0, err
+			}
+			if u == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= u
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) unary() (float64, error) {
+	if e.peek() == '-' {
+		e.pos++
+		v, err := e.unary()
+		return -v, err
+	}
+	return e.atom()
+}
+
+func (e *exprParser) atom() (float64, error) {
+	e.skipSpace()
+	if e.pos >= len(e.s) {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	if e.s[e.pos] == '(' {
+		e.pos++
+		v, err := e.expr()
+		if err != nil {
+			return 0, err
+		}
+		if e.peek() != ')' {
+			return 0, fmt.Errorf("missing ')'")
+		}
+		e.pos++
+		return v, nil
+	}
+	start := e.pos
+	for e.pos < len(e.s) {
+		c := e.s[e.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+			(c == '+' || c == '-') && e.pos > start && (e.s[e.pos-1] == 'e' || e.s[e.pos-1] == 'E') ||
+			c >= 'a' && c <= 'z' {
+			e.pos++
+			continue
+		}
+		break
+	}
+	tok := e.s[start:e.pos]
+	if tok == "pi" {
+		return math.Pi, nil
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad token %q", tok)
+	}
+	return v, nil
+}
+
+// Write renders a circuit as OpenQASM 2.0 using a single register q.
+func Write(c *circuit.Circuit) string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.Barrier:
+			b.WriteString("barrier q;\n")
+			continue
+		case circuit.Measure:
+			fmt.Fprintf(&b, "// measure q[%d]\n", g.Qubits[0])
+			continue
+		}
+		b.WriteString(g.Kind.String())
+		if len(g.Params) > 0 {
+			b.WriteByte('(')
+			for i, p := range g.Params {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%.12g", p)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+		for i, q := range g.Qubits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package qasm
+
+import (
+	"math"
+	"testing"
+
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/sim"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+// Bell pair
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 {
+		t.Fatalf("qubits = %d", c.NumQubits)
+	}
+	if len(c.Gates) != 4 { // h, cx, 2 measures
+		t.Fatalf("gates = %d: %v", len(c.Gates), c.Gates)
+	}
+	if c.Gates[1].Kind != circuit.CX {
+		t.Fatalf("gate 1 = %v", c.Gates[1])
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	src := `qreg q[1]; rz(pi/2) q[0]; u3(pi, -pi/4, 0.5) q[0]; rx(2*pi/3) q[0]; ry(-(pi+1)/2) q[0];`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Gates[0].Params[0]-math.Pi/2) > 1e-12 {
+		t.Errorf("rz param %v", c.Gates[0].Params)
+	}
+	if math.Abs(c.Gates[1].Params[1]+math.Pi/4) > 1e-12 {
+		t.Errorf("u3 params %v", c.Gates[1].Params)
+	}
+	if math.Abs(c.Gates[2].Params[0]-2*math.Pi/3) > 1e-12 {
+		t.Errorf("rx param %v", c.Gates[2].Params)
+	}
+	if math.Abs(c.Gates[3].Params[0]+(math.Pi+1)/2) > 1e-12 {
+		t.Errorf("ry param %v", c.Gates[3].Params)
+	}
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	c, err := Parse(`qreg q[1]; rz(1.5e-3) q[0];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Params[0] != 1.5e-3 {
+		t.Errorf("param = %v", c.Gates[0].Params[0])
+	}
+}
+
+func TestParseBroadcast(t *testing.T) {
+	c, err := Parse(`qreg q[3]; h q;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 3 {
+		t.Fatalf("broadcast produced %d gates", len(c.Gates))
+	}
+}
+
+func TestParseMultipleRegisters(t *testing.T) {
+	c, err := Parse(`qreg a[2]; qreg b[3]; cx a[1],b[0];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 5 {
+		t.Fatalf("qubits = %d", c.NumQubits)
+	}
+	g := c.Gates[0]
+	if g.Qubits[0] != 1 || g.Qubits[1] != 2 {
+		t.Fatalf("register offsets wrong: %v", g.Qubits)
+	}
+}
+
+func TestParseThreeQubitGates(t *testing.T) {
+	c, err := Parse(`qreg q[3]; ccx q[0],q[1],q[2]; cswap q[0],q[1],q[2];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Kind != circuit.CCX || c.Gates[1].Kind != circuit.CSWAP {
+		t.Fatalf("kinds: %v %v", c.Gates[0].Kind, c.Gates[1].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no qreg":        `h q[0];`,
+		"unknown gate":   `qreg q[1]; frobnicate q[0];`,
+		"out of range":   `qreg q[2]; h q[5];`,
+		"bad param":      `qreg q[1]; rz(bogus) q[0];`,
+		"wrong operands": `qreg q[2]; cx q[0];`,
+		"empty":          ``,
+		"div zero":       `qreg q[1]; rz(1/0) q[0];`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := bench.GHZ(5)
+	src := Write(orig)
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("%v\nsource:\n%s", err, src)
+	}
+	if back.NumQubits != orig.NumQubits || len(back.Gates) != len(orig.Gates) {
+		t.Fatalf("shape mismatch: %d/%d gates", len(back.Gates), len(orig.Gates))
+	}
+	sa, err := sim.Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sim.Run(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := sim.FidelityUpToPhase(sa, sb); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("round trip changed semantics: fidelity %v", f)
+	}
+}
+
+func TestRoundTripAllBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		orig := b.Build()
+		back, err := Parse(Write(orig))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if back.NumQubits != orig.NumQubits || len(back.Gates) != len(orig.Gates) {
+			t.Fatalf("%s: shape mismatch", b.Name)
+		}
+		// Semantic check only for circuits small enough to simulate.
+		if orig.NumQubits <= 13 {
+			sa, _ := sim.Run(orig)
+			sb, _ := sim.Run(back)
+			if f := sim.FidelityUpToPhase(sa, sb); math.Abs(f-1) > 1e-7 {
+				t.Fatalf("%s: fidelity %v", b.Name, f)
+			}
+		}
+	}
+}
+
+func TestParseBarrier(t *testing.T) {
+	c, err := Parse(`qreg q[2]; h q[0]; barrier q; h q[1];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[1].Kind != circuit.Barrier {
+		t.Fatalf("gate 1 = %v", c.Gates[1].Kind)
+	}
+}

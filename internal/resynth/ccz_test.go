@@ -1,0 +1,135 @@
+package resynth
+
+import (
+	"math"
+	"testing"
+
+	"zac/internal/circuit"
+	"zac/internal/sim"
+)
+
+func TestPreprocessNativeCCZKeepsCCZ(t *testing.T) {
+	c := circuit.New("toffoli", 3)
+	c.Append(circuit.H, []int{0})
+	c.Append(circuit.H, []int{1})
+	c.Append(circuit.CCZ, []int{0, 1, 2})
+	c.Append(circuit.CCX, []int{0, 1, 2})
+	st, err := PreprocessNativeCCZ(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccz := 0
+	for _, stage := range st.Stages {
+		for _, g := range stage.Gates {
+			if g.Kind == circuit.CCZ {
+				ccz++
+			}
+			if g.Kind == circuit.CZ {
+				t.Errorf("unexpected decomposed CZ: %v", g)
+			}
+		}
+	}
+	if ccz != 2 {
+		t.Fatalf("native CCZ count = %d, want 2 (CCZ + CCX→CCZ)", ccz)
+	}
+}
+
+func TestNativeCCZEquivalence(t *testing.T) {
+	// The native-CCZ pipeline must preserve semantics exactly like the
+	// decomposed one.
+	c := circuit.New("mix", 4)
+	c.Append(circuit.H, []int{0})
+	c.Append(circuit.H, []int{1})
+	c.Append(circuit.T, []int{2})
+	c.Append(circuit.CCX, []int{0, 1, 2})
+	c.Append(circuit.CX, []int{2, 3})
+	c.Append(circuit.CCZ, []int{1, 2, 3})
+	c.Append(circuit.RY, []int{0}, 0.4)
+
+	st, err := PreprocessNativeCCZ(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := sim.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sim.Run(st.Flatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := sim.FidelityUpToPhase(sa, sb); math.Abs(f-1) > 1e-7 {
+		t.Fatalf("native-CCZ pipeline changed semantics: fidelity %v", f)
+	}
+}
+
+func TestNativeCCZReducesEntanglingCount(t *testing.T) {
+	c := circuit.New("toffolis", 6)
+	for i := 0; i+2 < 6; i++ {
+		c.Append(circuit.CCX, []int{i, i + 1, i + 2})
+	}
+	plain, err := Preprocess(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := PreprocessNativeCCZ(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plainE := plain.GateCounts()
+	_, nativeE := native.GateCounts()
+	if nativeE*6 != plainE {
+		t.Errorf("native %d entangling gates vs decomposed %d (expect 6× reduction)", nativeE, plainE)
+	}
+}
+
+func TestNativeCSwapEquivalence(t *testing.T) {
+	c := circuit.New("fredkin", 4)
+	c.Append(circuit.H, []int{0})
+	c.Append(circuit.RY, []int{1}, 0.7)
+	c.Append(circuit.X, []int{2})
+	c.Append(circuit.CSWAP, []int{0, 1, 2})
+	c.Append(circuit.CX, []int{2, 3})
+
+	st, err := PreprocessNativeCCZ(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must contain a native CCZ (from the Fredkin) and no 6-CZ expansion.
+	ccz := 0
+	for _, stage := range st.Stages {
+		for _, g := range stage.Gates {
+			if g.Kind == circuit.CCZ {
+				ccz++
+			}
+		}
+	}
+	if ccz != 1 {
+		t.Fatalf("native CCZ count = %d, want 1", ccz)
+	}
+	sa, _ := sim.Run(c)
+	sb, _ := sim.Run(st.Flatten())
+	if f := sim.FidelityUpToPhase(sa, sb); math.Abs(f-1) > 1e-7 {
+		t.Fatalf("native CSWAP path changed semantics: %v", f)
+	}
+}
+
+func TestScheduleCCZStageDisjoint(t *testing.T) {
+	c := circuit.New("par", 6)
+	c.Append(circuit.CCZ, []int{0, 1, 2})
+	c.Append(circuit.CCZ, []int{3, 4, 5}) // parallel
+	c.Append(circuit.CCZ, []int{2, 3, 4}) // depends on both
+	st, err := PreprocessNativeCCZ(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.NumRydbergStages(); got != 2 {
+		t.Fatalf("stages = %d, want 2", got)
+	}
+	if n := len(st.Stages[st.RydbergStages()[0]].Gates); n != 2 {
+		t.Errorf("first stage gates = %d, want 2", n)
+	}
+}

@@ -1,0 +1,259 @@
+// Package resynth implements the preprocessing step of the compiler (paper
+// §IV, Fig. 4): (1) resynthesis of the input circuit into the
+// hardware-supported gate set {CZ, U3}; (2) single-qubit gate optimization by
+// exact 2×2-unitary accumulation and ZYZ re-extraction; and (3) ASAP
+// scheduling of the result into alternating 1Q and Rydberg stages with each
+// qubit in at most one gate per stage.
+//
+// The paper performs this step with Qiskit at optimization level 3; this
+// package is the from-scratch substitute (see DESIGN.md, substitution table).
+package resynth
+
+import (
+	"fmt"
+	"math"
+
+	"zac/internal/circuit"
+	"zac/internal/linalg"
+)
+
+// Decompose rewrites c using only {CZ, U3} gates. Measure and Barrier gates
+// are dropped (the paper's flow compiles unitary circuit bodies; measurement
+// happens in the readout zone outside the compiled program).
+func Decompose(c *circuit.Circuit) (*circuit.Circuit, error) {
+	return DecomposeKeep(c, nil)
+}
+
+// DecomposeKeep is Decompose with a set of multi-qubit kinds to keep native
+// (currently CCZ, for architectures with three-trap Rydberg sites; CCX maps
+// to H-conjugated CCZ).
+func DecomposeKeep(c *circuit.Circuit, keep map[circuit.Kind]bool) (*circuit.Circuit, error) {
+	out := circuit.New(c.Name, c.NumQubits)
+	for i, g := range c.Gates {
+		var err error
+		switch {
+		case keep[g.Kind]:
+			out.Gates = append(out.Gates, g)
+		case keep[circuit.CCZ] && g.Kind == circuit.CCX:
+			// CCX = H(t) · CCZ · H(t)
+			h(out, g.Qubits[2])
+			out.Append(circuit.CCZ, g.Qubits)
+			h(out, g.Qubits[2])
+		case keep[circuit.CCZ] && g.Kind == circuit.CSWAP:
+			// Fredkin via native CCZ: CX(t2,t1) · H(t2)·CCZ·H(t2) · CX(t2,t1)
+			ctrl, t1, t2 := g.Qubits[0], g.Qubits[1], g.Qubits[2]
+			cx(out, t2, t1)
+			h(out, t2)
+			out.Append(circuit.CCZ, []int{ctrl, t1, t2})
+			h(out, t2)
+			cx(out, t2, t1)
+		default:
+			err = emit(out, g)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("resynth: gate %d (%s): %w", i, g.Kind, err)
+		}
+	}
+	return out, nil
+}
+
+// u3 appends a U3 gate with the given angles.
+func u3(out *circuit.Circuit, q int, theta, phi, lambda float64) {
+	out.Append(circuit.U3, []int{q}, theta, phi, lambda)
+}
+
+// cz appends a CZ gate.
+func cz(out *circuit.Circuit, a, b int) { out.Append(circuit.CZ, []int{a, b}) }
+
+// h emits a Hadamard as U3(π/2, 0, π).
+func h(out *circuit.Circuit, q int) { u3(out, q, math.Pi/2, 0, math.Pi) }
+
+// cx emits CNOT(control, target) = H(t)·CZ·H(t).
+func cx(out *circuit.Circuit, c, t int) {
+	h(out, t)
+	cz(out, c, t)
+	h(out, t)
+}
+
+// rz emits RZ(θ) ~ U3(0, 0, θ) (up to global phase).
+func rz(out *circuit.Circuit, q int, theta float64) { u3(out, q, 0, 0, theta) }
+
+// ry emits RY(θ) = U3(θ, 0, 0).
+func ry(out *circuit.Circuit, q int, theta float64) { u3(out, q, theta, 0, 0) }
+
+func emit(out *circuit.Circuit, g circuit.Gate) error {
+	q := g.Qubits
+	switch g.Kind {
+	case circuit.U3:
+		u3(out, q[0], g.Params[0], g.Params[1], g.Params[2])
+	case circuit.CZ:
+		cz(out, q[0], q[1])
+	case circuit.H:
+		h(out, q[0])
+	case circuit.X:
+		u3(out, q[0], math.Pi, 0, math.Pi)
+	case circuit.Y:
+		u3(out, q[0], math.Pi, math.Pi/2, math.Pi/2)
+	case circuit.Z:
+		rz(out, q[0], math.Pi)
+	case circuit.S:
+		rz(out, q[0], math.Pi/2)
+	case circuit.Sdg:
+		rz(out, q[0], -math.Pi/2)
+	case circuit.T:
+		rz(out, q[0], math.Pi/4)
+	case circuit.Tdg:
+		rz(out, q[0], -math.Pi/4)
+	case circuit.ID:
+		// no-op
+	case circuit.RX:
+		u3(out, q[0], g.Params[0], -math.Pi/2, math.Pi/2)
+	case circuit.RY:
+		ry(out, q[0], g.Params[0])
+	case circuit.RZ, circuit.U1:
+		rz(out, q[0], g.Params[0])
+	case circuit.U2:
+		u3(out, q[0], math.Pi/2, g.Params[0], g.Params[1])
+	case circuit.CX:
+		cx(out, q[0], q[1])
+	case circuit.CY:
+		// CY = Sdg(t) CX S(t)
+		rz(out, q[1], -math.Pi/2)
+		cx(out, q[0], q[1])
+		rz(out, q[1], math.Pi/2)
+	case circuit.SWAP:
+		cx(out, q[0], q[1])
+		cx(out, q[1], q[0])
+		cx(out, q[0], q[1])
+	case circuit.CP:
+		// CP(λ) = P(λ/2)(c) · CX · P(-λ/2)(t) · CX · P(λ/2)(t), with P ≡ RZ
+		// up to global phase.
+		l := g.Params[0]
+		rz(out, q[0], l/2)
+		cx(out, q[0], q[1])
+		rz(out, q[1], -l/2)
+		cx(out, q[0], q[1])
+		rz(out, q[1], l/2)
+	case circuit.CRZ:
+		l := g.Params[0]
+		rz(out, q[1], l/2)
+		cx(out, q[0], q[1])
+		rz(out, q[1], -l/2)
+		cx(out, q[0], q[1])
+	case circuit.CRY:
+		l := g.Params[0]
+		ry(out, q[1], l/2)
+		cx(out, q[0], q[1])
+		ry(out, q[1], -l/2)
+		cx(out, q[0], q[1])
+	case circuit.CRX:
+		l := g.Params[0]
+		// CRX(θ) = RZ(π/2)(t) · CRY... use the standard: H-conjugated CRZ.
+		h(out, q[1])
+		rz(out, q[1], l/2)
+		cx(out, q[0], q[1])
+		rz(out, q[1], -l/2)
+		cx(out, q[0], q[1])
+		h(out, q[1])
+	case circuit.RZZ:
+		l := g.Params[0]
+		cx(out, q[0], q[1])
+		rz(out, q[1], l)
+		cx(out, q[0], q[1])
+	case circuit.RXX:
+		l := g.Params[0]
+		h(out, q[0])
+		h(out, q[1])
+		cx(out, q[0], q[1])
+		rz(out, q[1], l)
+		cx(out, q[0], q[1])
+		h(out, q[0])
+		h(out, q[1])
+	case circuit.CCX:
+		// Standard 6-CNOT Toffoli decomposition.
+		a, b, t := q[0], q[1], q[2]
+		h(out, t)
+		cx(out, b, t)
+		rz(out, t, -math.Pi/4)
+		cx(out, a, t)
+		rz(out, t, math.Pi/4)
+		cx(out, b, t)
+		rz(out, t, -math.Pi/4)
+		cx(out, a, t)
+		rz(out, b, math.Pi/4)
+		rz(out, t, math.Pi/4)
+		cx(out, a, b)
+		rz(out, a, math.Pi/4)
+		rz(out, b, -math.Pi/4)
+		cx(out, a, b)
+		h(out, t)
+	case circuit.CCZ:
+		// CCZ = H(t) CCX H(t); inline to avoid double H.
+		a, b, t := q[0], q[1], q[2]
+		cx(out, b, t)
+		rz(out, t, -math.Pi/4)
+		cx(out, a, t)
+		rz(out, t, math.Pi/4)
+		cx(out, b, t)
+		rz(out, t, -math.Pi/4)
+		cx(out, a, t)
+		rz(out, b, math.Pi/4)
+		rz(out, t, math.Pi/4)
+		cx(out, a, b)
+		rz(out, a, math.Pi/4)
+		rz(out, b, -math.Pi/4)
+		cx(out, a, b)
+	case circuit.CSWAP:
+		// Fredkin: CX(t2,t1) · CCX(c,t1,t2) · CX(t2,t1)
+		cGate, t1, t2 := q[0], q[1], q[2]
+		cx(out, t2, t1)
+		if err := emit(out, circuit.NewGate(circuit.CCX, []int{cGate, t1, t2})); err != nil {
+			return err
+		}
+		cx(out, t2, t1)
+	case circuit.Measure, circuit.Barrier:
+		// dropped
+	default:
+		return fmt.Errorf("unsupported gate kind %v", g.Kind)
+	}
+	return nil
+}
+
+// gateMatrix returns the 2×2 unitary of a 1Q gate kind (input or native).
+// Returns an error for multi-qubit or non-unitary kinds.
+func gateMatrix(g circuit.Gate) (linalg.Mat2, error) {
+	switch g.Kind {
+	case circuit.U3:
+		return linalg.U3(g.Params[0], g.Params[1], g.Params[2]), nil
+	case circuit.H:
+		return linalg.H(), nil
+	case circuit.X:
+		return linalg.X(), nil
+	case circuit.Y:
+		return linalg.Y(), nil
+	case circuit.Z:
+		return linalg.Z(), nil
+	case circuit.S:
+		return linalg.S(), nil
+	case circuit.Sdg:
+		return linalg.Sdg(), nil
+	case circuit.T:
+		return linalg.T(), nil
+	case circuit.Tdg:
+		return linalg.Tdg(), nil
+	case circuit.RX:
+		return linalg.RX(g.Params[0]), nil
+	case circuit.RY:
+		return linalg.RY(g.Params[0]), nil
+	case circuit.RZ:
+		return linalg.RZ(g.Params[0]), nil
+	case circuit.U1:
+		return linalg.Phase(g.Params[0]), nil
+	case circuit.U2:
+		return linalg.U3(math.Pi/2, g.Params[0], g.Params[1]), nil
+	case circuit.ID:
+		return linalg.Identity(), nil
+	default:
+		return linalg.Mat2{}, fmt.Errorf("resynth: %s has no 1Q matrix", g.Kind)
+	}
+}

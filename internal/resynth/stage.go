@@ -1,0 +1,93 @@
+package resynth
+
+import (
+	"fmt"
+
+	"zac/internal/circuit"
+)
+
+// Schedule performs ASAP scheduling of a {CZ,U3} circuit into alternating
+// stages (paper Fig. 4): each Rydberg stage holds CZ gates on disjoint qubit
+// pairs (one global Rydberg exposure), preceded by a 1Q stage holding the U3
+// gates that must run before it. Dependency order is preserved.
+func Schedule(c *circuit.Circuit) (*circuit.Staged, error) {
+	// ASAP level per CZ gate: a CZ goes to Rydberg stage t where t is one
+	// more than the largest stage of any earlier CZ sharing a qubit. U3 gates
+	// attach to the 1Q stage immediately before the next CZ on their qubit
+	// (or the trailing stage).
+	type czInfo struct {
+		idx   int
+		stage int
+	}
+	stageOfQubit := make([]int, c.NumQubits) // next available Rydberg stage per qubit
+	var czStages [][]circuit.Gate
+	// oneQBefore[t] = U3 gates to run before Rydberg stage t; index len(czStages)
+	// collects trailing gates.
+	oneQBefore := map[int][]circuit.Gate{}
+
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case circuit.U3:
+			q := g.Qubits[0]
+			oneQBefore[stageOfQubit[q]] = append(oneQBefore[stageOfQubit[q]], g)
+		case circuit.CZ, circuit.CCZ:
+			t := 0
+			for _, q := range g.Qubits {
+				if stageOfQubit[q] > t {
+					t = stageOfQubit[q]
+				}
+			}
+			for len(czStages) <= t {
+				czStages = append(czStages, nil)
+			}
+			czStages[t] = append(czStages[t], g)
+			for _, q := range g.Qubits {
+				stageOfQubit[q] = t + 1
+			}
+		default:
+			return nil, fmt.Errorf("resynth: Schedule expects {CZ,CCZ,U3}, found %s at %d", g.Kind, i)
+		}
+	}
+
+	s := &circuit.Staged{Name: c.Name, NumQubits: c.NumQubits}
+	for t := 0; t <= len(czStages); t++ {
+		if gs := oneQBefore[t]; len(gs) > 0 {
+			s.Stages = append(s.Stages, circuit.Stage{Kind: circuit.OneQStage, Gates: gs})
+		}
+		if t < len(czStages) && len(czStages[t]) > 0 {
+			s.Stages = append(s.Stages, circuit.Stage{Kind: circuit.RydbergStage, Gates: czStages[t]})
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Preprocess runs the full pipeline: decompose → 1Q-optimize → ASAP stage.
+// This is the entry point the compiler front end uses.
+func Preprocess(c *circuit.Circuit) (*circuit.Staged, error) {
+	return preprocess(c, nil)
+}
+
+// PreprocessNativeCCZ preprocesses for architectures whose Rydberg sites
+// have three traps (§III): CCZ/CCX gates map to a single native CCZ instead
+// of the 6-CZ decomposition.
+func PreprocessNativeCCZ(c *circuit.Circuit) (*circuit.Staged, error) {
+	return preprocess(c, map[circuit.Kind]bool{circuit.CCZ: true})
+}
+
+func preprocess(c *circuit.Circuit, keep map[circuit.Kind]bool) (*circuit.Staged, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	dec, err := DecomposeKeep(c, keep)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := Optimize1Q(dec)
+	if err != nil {
+		return nil, err
+	}
+	return Schedule(opt)
+}

@@ -1,0 +1,177 @@
+package sc
+
+import (
+	"fmt"
+
+	"zac/internal/circuit"
+	"zac/internal/fidelity"
+)
+
+// Result is the evaluation of a routed superconducting execution.
+type Result struct {
+	Stats     fidelity.Stats
+	Breakdown fidelity.Breakdown
+	NumSwaps  int
+	Duration  float64 // µs
+}
+
+// Compile routes a preprocessed {CZ,U3} staged circuit onto the coupling
+// graph with SABRE-style swap insertion (move one operand hop by hop along a
+// BFS shortest path until the pair is adjacent) and evaluates it under the
+// given platform parameters. Gate timing is ASAP per physical qubit; a SWAP
+// costs three 2Q gates.
+func Compile(staged *circuit.Staged, g *Coupling, p fidelity.Params) (*Result, error) {
+	n := staged.NumQubits
+	if n > g.N {
+		return nil, fmt.Errorf("sc: %d logical qubits exceed %d physical on %s", n, g.N, g.Name)
+	}
+	// Initial layout: logical qubits in index order along a near-Hamiltonian
+	// greedy walk of the coupling graph, so chain-structured circuits start
+	// near-adjacent (the role SABRE's layout pass plays in the paper's
+	// Qiskit flow). On a grid this yields the serpentine order.
+	order := pathOrder(g)
+	physOf := make([]int, n) // logical → physical
+	logAt := make([]int, g.N)
+	for i := range logAt {
+		logAt[i] = -1
+	}
+	for q := 0; q < n; q++ {
+		physOf[q] = order[q]
+		logAt[order[q]] = q
+	}
+
+	var st fidelity.Stats
+	st.Busy = make([]float64, n)
+	ready := make([]float64, g.N) // per-physical-qubit availability time
+	res := &Result{}
+
+	// exec2Q schedules a 2Q gate on adjacent physical qubits.
+	exec2Q := func(pa, pb int, dur float64) (begin float64) {
+		begin = ready[pa]
+		if ready[pb] > begin {
+			begin = ready[pb]
+		}
+		end := begin + dur
+		ready[pa], ready[pb] = end, end
+		return begin
+	}
+	busy2Q := func(pa, pb int, dur float64) {
+		if la := logAt[pa]; la >= 0 {
+			st.Busy[la] += dur
+		}
+		if lb := logAt[pb]; lb >= 0 {
+			st.Busy[lb] += dur
+		}
+	}
+	swap := func(pa, pb int) {
+		res.NumSwaps++
+		st.TwoQGates += 3
+		dur := 3 * p.T2Q
+		busy2Q(pa, pb, dur)
+		exec2Q(pa, pb, dur)
+		la, lb := logAt[pa], logAt[pb]
+		logAt[pa], logAt[pb] = lb, la
+		if la >= 0 {
+			physOf[la] = pb
+		}
+		if lb >= 0 {
+			physOf[lb] = pa
+		}
+	}
+
+	for _, stage := range staged.Stages {
+		for _, gate := range stage.Gates {
+			switch gate.Kind {
+			case circuit.U3:
+				q := gate.Qubits[0]
+				pq := physOf[q]
+				st.OneQGates++
+				st.Busy[q] += p.T1Q
+				ready[pq] += p.T1Q
+			case circuit.CZ:
+				a, b := gate.Qubits[0], gate.Qubits[1]
+				for !g.Adjacent(physOf[a], physOf[b]) {
+					path := g.ShortestPath(physOf[a], physOf[b])
+					if path == nil {
+						return nil, fmt.Errorf("sc: qubits %d and %d disconnected on %s", a, b, g.Name)
+					}
+					swap(path[0], path[1])
+				}
+				st.TwoQGates++
+				st.Busy[a] += p.T2Q
+				st.Busy[b] += p.T2Q
+				exec2Q(physOf[a], physOf[b], p.T2Q)
+			default:
+				return nil, fmt.Errorf("sc: unexpected gate kind %s", gate.Kind)
+			}
+		}
+	}
+
+	dur := 0.0
+	for _, t := range ready {
+		if t > dur {
+			dur = t
+		}
+	}
+	st.Duration = dur
+	res.Stats = st
+	res.Duration = dur
+	res.Breakdown = fidelity.Compute(p, st)
+	return res, nil
+}
+
+// pathOrder returns the physical qubits along a greedy walk: keep stepping
+// to the lowest-index unvisited neighbor; when stuck, jump to the nearest
+// unvisited vertex (by BFS). Consecutive entries are adjacent except at the
+// rare jumps, so consecutive logical indices land next to each other.
+func pathOrder(g *Coupling) []int {
+	order := make([]int, 0, g.N)
+	seen := make([]bool, g.N)
+	cur := 0
+	seen[0] = true
+	order = append(order, 0)
+	for len(order) < g.N {
+		next := -1
+		for _, v := range g.Adj[cur] {
+			if !seen[v] && (next == -1 || v < next) {
+				next = v
+			}
+		}
+		if next == -1 {
+			next = nearestUnvisited(g, cur, seen)
+			if next == -1 {
+				// Disconnected remainder: take the lowest unvisited vertex.
+				for v := 0; v < g.N; v++ {
+					if !seen[v] {
+						next = v
+						break
+					}
+				}
+			}
+		}
+		seen[next] = true
+		order = append(order, next)
+		cur = next
+	}
+	return order
+}
+
+func nearestUnvisited(g *Coupling, from int, seen []bool) int {
+	visited := make([]bool, g.N)
+	visited[from] = true
+	queue := []int{from}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range g.Adj[u] {
+			if visited[v] {
+				continue
+			}
+			if !seen[v] {
+				return v
+			}
+			visited[v] = true
+			queue = append(queue, v)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,375 @@
+// Package schedule implements ZAC's instruction scheduling (paper §VI): it
+// turns a placement plan into a timed ZAIR program by (1) splitting each
+// movement phase into rearrangement jobs of AOD-compatible movements via
+// repeated maximal independent sets (following Enola), (2) analyzing
+// dependencies, and (3) assigning jobs to AODs with load-balancing
+// longest-job-first scheduling.
+//
+// The phase structure follows the paper's grouped execution order: move
+// qubits into the entanglement zone, fire the Rydberg laser, move idle
+// qubits back to storage, repeat (§VI). Single-qubit stages execute
+// sequentially between movement phases (the paper's conservative timing
+// assumption, §VII-B). Qubit dependencies (Fig. 7b) can only arise across
+// phases, which the phase barriers enforce; trap dependencies (Fig. 7a)
+// additionally arise *within* a move-in phase when advanced in-zone reuse
+// chains site-to-site movements, and are handled by dependency-aware job
+// ordering (falling back to single-move jobs if bundling creates job-level
+// cycles).
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/fidelity"
+	"zac/internal/geom"
+	"zac/internal/graphalgo"
+	"zac/internal/place"
+	"zac/internal/zair"
+)
+
+// Result is a fully scheduled program plus the statistics the fidelity
+// model consumes.
+type Result struct {
+	Program *zair.Program
+	Stats   fidelity.Stats
+	NumJobs int
+}
+
+// Build schedules the plan into a timed ZAIR program.
+func Build(a *arch.Architecture, staged *circuit.Staged, plan *place.Plan) (*Result, error) {
+	if len(a.AODs) == 0 {
+		return nil, fmt.Errorf("schedule: architecture has no AODs")
+	}
+	s := &scheduler{a: a, staged: staged, plan: plan}
+	return s.run()
+}
+
+type scheduler struct {
+	a      *arch.Architecture
+	staged *circuit.Staged
+	plan   *place.Plan
+
+	prog  zair.Program
+	stats fidelity.Stats
+	clock float64
+	jobs  int
+}
+
+func (s *scheduler) run() (*Result, error) {
+	s.prog.Name = s.staged.Name
+	s.prog.NumQubits = s.staged.NumQubits
+	s.stats.Busy = make([]float64, s.staged.NumQubits)
+
+	// Init instruction from the initial placement.
+	init := zair.Init{}
+	for q, t := range s.plan.Initial {
+		init.Locs = append(init.Locs, s.trapQLoc(q, t))
+	}
+	s.prog.Instructions = append(s.prog.Instructions, init)
+
+	// Walk stages; plan steps align with Rydberg stages in order.
+	stepIdx := 0
+	for si, st := range s.staged.Stages {
+		switch st.Kind {
+		case circuit.OneQStage:
+			s.emitOneQStage(st)
+		case circuit.RydbergStage:
+			if stepIdx >= len(s.plan.Steps) {
+				return nil, fmt.Errorf("schedule: plan has %d steps but stage %d is Rydberg", len(s.plan.Steps), si)
+			}
+			step := &s.plan.Steps[stepIdx]
+			if step.StageIdx != si {
+				return nil, fmt.Errorf("schedule: plan step %d maps to stage %d, expected %d", stepIdx, step.StageIdx, si)
+			}
+			if err := s.emitMovePhase(step.MovesIn); err != nil {
+				return nil, err
+			}
+			s.emitRydberg(step)
+			if err := s.emitMovePhase(step.MovesOut); err != nil {
+				return nil, err
+			}
+			stepIdx++
+		}
+	}
+	s.stats.Duration = s.clock
+	return &Result{Program: &s.prog, Stats: s.stats, NumJobs: s.jobs}, nil
+}
+
+// emitOneQStage appends the stage's U3 gates. Gates with the same unitary
+// batch into one ZAIR instruction (the IR's 1qGate carries one unitary and a
+// location list, §IX); execution remains sequential per gate — the paper's
+// conservative timing model.
+func (s *scheduler) emitOneQStage(st circuit.Stage) {
+	type key [3]float64
+	groups := map[key][]int{}
+	var orderKeys []key
+	for _, g := range st.Gates {
+		k := key{g.Params[0], g.Params[1], g.Params[2]}
+		if _, ok := groups[k]; !ok {
+			orderKeys = append(orderKeys, k)
+		}
+		groups[k] = append(groups[k], g.Qubits[0])
+	}
+	for _, k := range orderKeys {
+		qubits := groups[k]
+		begin := s.clock
+		end := begin + s.a.Times.OneQGate*float64(len(qubits))
+		inst := zair.OneQGate{
+			Unitary:   k,
+			BeginTime: begin,
+			EndTime:   end,
+		}
+		for _, q := range qubits {
+			inst.Locs = append(inst.Locs, zair.QLoc{Q: q})
+			s.stats.OneQGates++
+			s.stats.AddBusy(q, s.a.Times.OneQGate)
+		}
+		s.prog.Instructions = append(s.prog.Instructions, inst)
+		s.clock = end
+	}
+}
+
+// emitRydberg fires the Rydberg laser over every entanglement zone that
+// hosts gates in this step (zones fire in parallel — each has its own
+// exposure). Idle qubits inside a firing zone would be excited; ZAC's
+// placement keeps the zones free of idle qubits, so Excited stays zero, but
+// the accounting is kept general for baseline reuse.
+func (s *scheduler) emitRydberg(step *place.Step) {
+	zones := map[int]bool{}
+	for _, site := range step.Sites {
+		zones[site.Zone] = true
+	}
+	begin := s.clock
+	end := begin + s.a.Times.Rydberg
+	for zi := range zones {
+		s.prog.Instructions = append(s.prog.Instructions, zair.Rydberg{
+			ZoneID: zi, BeginTime: begin, EndTime: end,
+		})
+	}
+	for _, g := range step.Gates {
+		s.stats.TwoQGates++
+		for _, q := range g.Qubits {
+			s.stats.AddBusy(q, s.a.Times.Rydberg)
+		}
+	}
+	s.clock = end
+}
+
+// emitMovePhase groups the phase's movements into AOD-compatible
+// rearrangement jobs, load-balances them across AODs (longest job first to
+// the earliest-available AOD), and advances the clock to the phase makespan.
+func (s *scheduler) emitMovePhase(moves []place.Move) error {
+	if len(moves) == 0 {
+		return nil
+	}
+	specs := make([]moveSpec, len(moves))
+	for i, m := range moves {
+		specs[i] = moveSpec{
+			move: m,
+			from: m.From.Point(s.a),
+			to:   m.To.Point(s.a),
+		}
+	}
+	groups := groupCompatible(specs)
+	err := s.emitJobsForGroups(specs, groups)
+	if err == errCyclicJobs {
+		// Bundling created a job-level dependency cycle even though the
+		// move-level graph is acyclic (the placement guarantees that).
+		// Fall back to one job per move, which always admits a topological
+		// order.
+		singles := make([][]int, len(specs))
+		for i := range specs {
+			singles[i] = []int{i}
+		}
+		err = s.emitJobsForGroups(specs, singles)
+	}
+	return err
+}
+
+var errCyclicJobs = fmt.Errorf("schedule: cyclic trap dependencies within a movement phase")
+
+// emitJobsForGroups builds one rearrangement job per movement group,
+// analyzes Fig. 7a trap dependencies between them, and schedules them onto
+// the AODs.
+func (s *scheduler) emitJobsForGroups(specs []moveSpec, groups [][]int) error {
+	// Build one job per group, tracking its source and target traps for the
+	// Fig. 7a trap-dependency analysis.
+	type builtJob struct {
+		job     zair.RearrangeJob
+		dur     float64
+		sources map[zair.QLoc]bool // trap part only (Q zeroed)
+		targets map[zair.QLoc]bool
+		deps    []int // job indices that must complete first
+		placed  bool
+		begin   float64
+	}
+	trapOf := func(l zair.QLoc) zair.QLoc { l.Q = 0; return l }
+	jobs := make([]*builtJob, 0, len(groups))
+	for _, g := range groups {
+		var ms []zair.MoveSpec
+		bj := &builtJob{sources: map[zair.QLoc]bool{}, targets: map[zair.QLoc]bool{}}
+		for _, i := range g {
+			sp := specs[i]
+			begin := s.posQLoc(sp.move.Qubit, sp.move.From)
+			end := s.posQLoc(sp.move.Qubit, sp.move.To)
+			ms = append(ms, zair.MoveSpec{
+				Qubit: sp.move.Qubit, Begin: begin, End: end,
+				From: sp.from, To: sp.to,
+			})
+			bj.sources[trapOf(begin)] = true
+			bj.targets[trapOf(end)] = true
+		}
+		job, timing := zair.BuildJob(0, ms, s.a.Times.AtomTransfer, s.a.MoveTime)
+		bj.job, bj.dur = job, timing.Total()
+		jobs = append(jobs, bj)
+	}
+
+	// Trap dependencies within the phase (Fig. 7a): a job dropping into a
+	// trap must wait for the job that picks an atom up from that trap.
+	// Advanced in-zone reuse is the only source of such pairs.
+	for ai, a := range jobs {
+		for bi, b := range jobs {
+			if ai == bi {
+				continue
+			}
+			for t := range a.targets {
+				if b.sources[t] {
+					a.deps = append(a.deps, bi)
+					break
+				}
+			}
+		}
+	}
+
+	// Longest-job-first onto the earliest-available AOD (§VI), respecting
+	// trap dependencies: a job becomes eligible once its dependencies are
+	// placed, and starts no earlier than their completion.
+	avail := make([]float64, len(s.a.AODs))
+	for i := range avail {
+		avail[i] = s.clock
+	}
+	phaseEnd := s.clock
+	var emitted []zair.RearrangeJob
+	for placed := 0; placed < len(jobs); {
+		pick := -1
+		for i, bj := range jobs {
+			if bj.placed {
+				continue
+			}
+			ready := true
+			for _, d := range bj.deps {
+				if !jobs[d].placed {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if pick == -1 || bj.dur > jobs[pick].dur {
+				pick = i
+			}
+		}
+		if pick == -1 {
+			return errCyclicJobs
+		}
+		bj := jobs[pick]
+		best := 0
+		for i := 1; i < len(avail); i++ {
+			if avail[i] < avail[best] {
+				best = i
+			}
+		}
+		start := avail[best]
+		for _, d := range bj.deps {
+			if end := jobs[d].begin + jobs[d].dur; end > start {
+				start = end
+			}
+		}
+		bj.begin = start
+		bj.job.AODID = s.a.AODs[best].ID
+		bj.job.BeginTime = start
+		bj.job.EndTime = start + bj.dur
+		avail[best] = bj.job.EndTime
+		if bj.job.EndTime > phaseEnd {
+			phaseEnd = bj.job.EndTime
+		}
+		bj.placed = true
+		placed++
+		emitted = append(emitted, bj.job)
+	}
+	// Commit only after the whole phase scheduled (the caller may retry
+	// with different groups on errCyclicJobs). Emit in begin-time order so
+	// the instruction stream replays causally.
+	sort.SliceStable(emitted, func(i, j int) bool { return emitted[i].BeginTime < emitted[j].BeginTime })
+	for _, j := range emitted {
+		s.prog.Instructions = append(s.prog.Instructions, j)
+		s.jobs++
+		dur := j.EndTime - j.BeginTime
+		for _, q := range j.Qubits() {
+			s.stats.AddBusy(q, dur)
+			s.stats.Transfers += 2
+		}
+	}
+	s.clock = phaseEnd
+	return nil
+}
+
+type moveSpec struct {
+	move     place.Move
+	from, to geom.Point
+}
+
+// compatible reports whether two movements can share one AOD sweep: the
+// relative order of their rows and columns must be preserved (AOD tones
+// cannot cross), and coincident begin coordinates must stay coincident
+// (they would share a tone).
+func compatible(a, b moveSpec) bool {
+	return axisCompatible(a.from.X, b.from.X, a.to.X, b.to.X) &&
+		axisCompatible(a.from.Y, b.from.Y, a.to.Y, b.to.Y)
+}
+
+func axisCompatible(a0, b0, a1, b1 float64) bool {
+	switch {
+	case a0 < b0:
+		return a1 < b1
+	case a0 > b0:
+		return a1 > b1
+	default:
+		return a1 == b1
+	}
+}
+
+// groupCompatible partitions movement indices into groups of pairwise
+// compatible movements using repeated maximal independent sets over the
+// conflict graph (paper §VI, following Enola's O(n² log n) approach).
+func groupCompatible(specs []moveSpec) [][]int {
+	n := len(specs)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !compatible(specs[i], specs[j]) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return graphalgo.PartitionIntoIndependentSets(n, adj)
+}
+
+// trapQLoc renders a storage trap as a ZAIR qloc.
+func (s *scheduler) trapQLoc(q int, t arch.TrapRef) zair.QLoc {
+	return zair.QLoc{Q: q, A: s.a.Storage[t.Zone].SLMs[t.SLM].ID, R: t.Row, C: t.Col}
+}
+
+// posQLoc renders any position as a ZAIR qloc.
+func (s *scheduler) posQLoc(q int, p place.Pos) zair.QLoc {
+	if p.InStorage {
+		return s.trapQLoc(q, p.Trap)
+	}
+	z := s.a.Entanglement[p.Site.Zone]
+	return zair.QLoc{Q: q, A: z.SLMs[p.Slot].ID, R: p.Site.Row, C: p.Site.Col}
+}

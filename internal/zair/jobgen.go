@@ -1,0 +1,127 @@
+package zair
+
+import (
+	"sort"
+
+	"zac/internal/geom"
+)
+
+// MoveSpec describes one qubit's movement inside a rearrangement job: its
+// identity, begin/end SLM locations, and begin/end physical coordinates.
+type MoveSpec struct {
+	Qubit      int
+	Begin, End QLoc
+	From, To   geom.Point
+}
+
+// JobTiming captures the three phases of a job (paper §VI): picking up all
+// qubits (row-by-row activation with optional parking, Fig. 18), one
+// parallel move, and dropping all qubits off.
+type JobTiming struct {
+	PickupDur float64
+	MoveDur   float64
+	DropDur   float64
+}
+
+// Total returns the whole job duration.
+func (t JobTiming) Total() float64 { return t.PickupDur + t.MoveDur + t.DropDur }
+
+// BuildJob assembles a RearrangeJob from movement specs: groups moves into
+// AOD rows by begin y-coordinate, generates the machine-level
+// activate/park/move/deactivate sequence following the OLSQ-DPQA row-by-row
+// pickup strategy (§IX, Fig. 18), and computes phase durations.
+//
+// transferTime is the atom-transfer duration Ttran; moveTime converts a
+// distance to a movement duration (architecture-specific).
+func BuildJob(aodID int, moves []MoveSpec, transferTime float64, moveTime func(d float64) float64) (RearrangeJob, JobTiming) {
+	if len(moves) == 0 {
+		return RearrangeJob{AODID: aodID}, JobTiming{}
+	}
+	// Group by begin row (y coordinate), ordered bottom-up; within a row
+	// order by x so AOD columns keep their relative order.
+	byY := map[float64][]MoveSpec{}
+	var ys []float64
+	for _, m := range moves {
+		if _, ok := byY[m.From.Y]; !ok {
+			ys = append(ys, m.From.Y)
+		}
+		byY[m.From.Y] = append(byY[m.From.Y], m)
+	}
+	sort.Float64s(ys)
+
+	job := RearrangeJob{AODID: aodID}
+	var timing JobTiming
+
+	// Pickup: one activate per begin row. Between consecutive row
+	// activations a small parking shift may be needed so already-picked
+	// qubits do not collide with traps in the next row (Fig. 18c); we model
+	// parking as a fixed small shift taking moveTime(parkDist).
+	const parkDist = 1.0 // µm: half the minimum AOD separation scale
+	maxDist := 0.0
+	rowID := 0
+	colID := 0
+	for yi, y := range ys {
+		row := byY[y]
+		sort.Slice(row, func(a, b int) bool { return row[a].From.X < row[b].From.X })
+		act := Activate{RowID: []int{rowID}, RowY: []float64{y}}
+		for _, m := range row {
+			act.ColID = append(act.ColID, colID)
+			act.ColX = append(act.ColX, m.From.X)
+			colID++
+			if d := m.From.Dist(m.To); d > maxDist {
+				maxDist = d
+			}
+		}
+		job.Insts = append(job.Insts, act)
+		timing.PickupDur += transferTime
+		var beginRow, endRow []QLoc
+		for _, m := range row {
+			beginRow = append(beginRow, m.Begin)
+			endRow = append(endRow, m.End)
+		}
+		job.BeginLocs = append(job.BeginLocs, beginRow)
+		job.EndLocs = append(job.EndLocs, endRow)
+		rowID++
+		if yi < len(ys)-1 {
+			// Parking shift before the next activation.
+			timing.PickupDur += moveTime(parkDist)
+		}
+	}
+
+	// One parallel move sweeping every active row/column from begin to end.
+	mv := Move{}
+	for ri, y := range ys {
+		row := byY[y]
+		mv.RowID = append(mv.RowID, ri)
+		mv.RowYBegin = append(mv.RowYBegin, y)
+		mv.RowYEnd = append(mv.RowYEnd, row[0].To.Y)
+	}
+	ci := 0
+	for _, y := range ys {
+		for _, m := range byY[y] {
+			mv.ColID = append(mv.ColID, ci)
+			mv.ColXBegin = append(mv.ColXBegin, m.From.X)
+			mv.ColXEnd = append(mv.ColXEnd, m.To.X)
+			ci++
+		}
+	}
+	job.Insts = append(job.Insts, mv)
+	timing.MoveDur = moveTime(maxDist)
+
+	// Drop: one deactivate releasing everything.
+	deact := Deactivate{}
+	for ri := range ys {
+		deact.RowID = append(deact.RowID, ri)
+	}
+	for c := 0; c < ci; c++ {
+		deact.ColID = append(deact.ColID, c)
+	}
+	job.Insts = append(job.Insts, deact)
+	timing.DropDur = transferTime
+
+	return job, timing
+}
+
+// TransfersPerJob returns the atom-transfer count of a job: each moved
+// qubit is picked up once and dropped once.
+func TransfersPerJob(j RearrangeJob) int { return 2 * j.NumMoved() }
