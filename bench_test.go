@@ -7,6 +7,7 @@ package zac
 // the same experiment over the full 17-circuit suite.
 
 import (
+	"context"
 	"testing"
 
 	"zac/internal/experiments"
@@ -19,8 +20,13 @@ var subset = []string{"bv_n14", "ghz_n23", "ising_n42", "qft_n18", "wstate_n27"}
 
 func runExperiment(b *testing.B, id string, circuits []string) {
 	b.Helper()
+	// Bypass the compilation cache: each per-experiment benchmark measures
+	// real compilation work on every iteration, as the seed harness did —
+	// otherwise iteration 2+ (and later benchmarks in the same process)
+	// would measure cache lookups.
+	cfg := experiments.Config{Parallel: 1, NoCache: true}
 	for i := 0; i < b.N; i++ {
-		tables, err := experiments.Run(id, circuits)
+		tables, err := experiments.RunWith(context.Background(), cfg, id, circuits)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,3 +91,44 @@ func BenchmarkWorkloads(b *testing.B) { runExperiment(b, "workloads", nil) }
 // BenchmarkNativeCCZ runs the §III multi-trap-site ablation: native CCZ on
 // three-trap Rydberg sites vs the 6-CZ decomposition.
 func BenchmarkNativeCCZ(b *testing.B) { runExperiment(b, "nativeccz", nil) }
+
+// suiteIDs are the experiments that evaluate the same compilers over the
+// same representative subset — the sharing opportunity the engine's
+// compilation cache exploits.
+var suiteIDs = []string{"fig8", "fig9", "fig10", "table2", "zair"}
+
+func runSuite(b *testing.B, cfg experiments.Config, shareAcrossExperiments bool) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		for _, id := range suiteIDs {
+			if !shareAcrossExperiments {
+				experiments.ResetCache()
+			}
+			tables, err := experiments.RunWith(ctx, cfg, id, subset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tables) == 0 || len(tables[0].Rows) == 0 {
+				b.Fatalf("experiment %s produced no rows", id)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSequential measures the seed's execution model: one worker,
+// no sharing between experiments (every experiment recompiles its circuits
+// from scratch, as the hand-rolled per-experiment loops did).
+func BenchmarkSuiteSequential(b *testing.B) {
+	runSuite(b, experiments.Config{Parallel: 1, NoCache: true}, false)
+}
+
+// BenchmarkSuiteParallel drives the same experiments through the engine:
+// runtime.NumCPU() workers and the process-wide compilation cache shared
+// across experiments, so each (circuit, compiler) pair compiles once per
+// iteration. Compare against BenchmarkSuiteSequential; the engine must be
+// at least ~2× faster (cache sharing alone exceeds that even on one CPU).
+func BenchmarkSuiteParallel(b *testing.B) {
+	runSuite(b, experiments.Config{}, true)
+}

@@ -1,16 +1,21 @@
 // Command zac-bench regenerates the paper's tables and figures as text
 // tables (and optionally CSV). Each experiment id matches DESIGN.md's
-// per-experiment index:
+// per-experiment index. Compilations fan out over a bounded worker pool and
+// are memoized in a process-wide cache, so experiments sharing circuits
+// (fig8/fig9/fig10/table2) compile each (circuit, compiler) pair once.
 //
 //	zac-bench -experiment fig8
 //	zac-bench -experiment fig9 -circuits bv_n14,ghz_n23
 //	zac-bench -experiment all -csv out/
+//	zac-bench -experiment all -parallel 8 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -22,6 +27,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: full suite)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential)")
+	progress := flag.Bool("progress", false, "print one line per completed compilation to stderr")
+	noCache := flag.Bool("nocache", false, "disable the compilation cache (recompile shared circuits)")
 	flag.Parse()
 
 	if *list {
@@ -41,8 +49,15 @@ func main() {
 		ids = experiments.Registry()
 	}
 
+	cfg := experiments.Config{Parallel: *parallel, NoCache: *noCache}
+	if *progress {
+		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "[progress] "+msg) }
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, id := range ids {
-		tables, err := experiments.Run(id, subset)
+		tables, err := experiments.RunWith(ctx, cfg, id, subset)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zac-bench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -61,6 +76,11 @@ func main() {
 				}
 			}
 		}
+	}
+	if *progress {
+		st := experiments.CacheStats()
+		fmt.Fprintf(os.Stderr, "[progress] cache: %d hits, %d misses, %d entries\n",
+			st.Hits, st.Misses, st.Entries)
 	}
 	fmt.Println("[INFO] Finish Compilation")
 }

@@ -1,42 +1,45 @@
-// Command zairsim loads a ZAIR program (as produced by `zac -out`),
-// verifies its physical consistency against an architecture, and reports
-// its statistics and fidelity under the paper's model — the consumer-side
-// counterpart of the compiler, useful for validating externally generated
-// or hand-edited ZAIR programs.
+// Command zairsim loads one or more ZAIR programs (as produced by
+// `zac -out`), verifies their physical consistency against an architecture,
+// and reports statistics and fidelity under the paper's model — the
+// consumer-side counterpart of the compiler, useful for validating
+// externally generated or hand-edited ZAIR programs. Multiple programs are
+// verified concurrently through the engine's worker pool; reports print in
+// argument order.
 //
 //	zairsim -program bv.zair.json
 //	zairsim -program bv.zair.json -arch custom_arch.json
+//	zairsim -parallel 4 a.zair.json b.zair.json c.zair.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"zac/internal/arch"
 	"zac/internal/core"
+	"zac/internal/engine"
 	"zac/internal/fidelity"
 	"zac/internal/geom"
 	"zac/internal/zair"
 )
 
 func main() {
-	programPath := flag.String("program", "", "ZAIR program JSON file")
+	programPath := flag.String("program", "", "ZAIR program JSON file (may also be given as positional arguments)")
 	archPath := flag.String("arch", "", "architecture JSON (default: reference architecture)")
+	parallel := flag.Int("parallel", 0, "worker pool size for multiple programs (0 = all CPUs)")
 	flag.Parse()
 
-	if *programPath == "" {
-		fmt.Fprintln(os.Stderr, "zairsim: -program FILE is required")
+	paths := flag.Args()
+	if *programPath != "" {
+		paths = append([]string{*programPath}, paths...)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "zairsim: -program FILE (or positional FILEs) required")
 		os.Exit(2)
-	}
-	data, err := os.ReadFile(*programPath)
-	if err != nil {
-		fatal(err)
-	}
-	var prog zair.Program
-	if err := json.Unmarshal(data, &prog); err != nil {
-		fatal(fmt.Errorf("parsing %s: %w", *programPath, err))
 	}
 
 	a := arch.Reference()
@@ -51,22 +54,52 @@ func main() {
 		}
 	}
 
+	reports, err := engine.Map(context.Background(), *parallel, len(paths), func(i int) (string, error) {
+		return report(paths[i], a, len(paths) > 1)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r)
+	}
+}
+
+// report verifies and evaluates one program, returning its printable report.
+func report(path string, a *arch.Architecture, multi bool) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var prog zair.Program
+	if err := json.Unmarshal(data, &prog); err != nil {
+		return "", fmt.Errorf("parsing %s: %w", path, err)
+	}
+
 	v := &zair.Verifier{Resolve: resolver(a)}
 	if err := v.Verify(&prog); err != nil {
-		fatal(fmt.Errorf("verification failed: %w", err))
+		return "", fmt.Errorf("%s: verification failed: %w", path, err)
 	}
-	fmt.Println("verification:     OK")
 
 	stats := replayStats(&prog, a)
 	b := fidelity.Compute(core.ParamsFromArch(a), stats)
 	cs := prog.CountStats()
-	fmt.Printf("program:          %s (%d qubits)\n", prog.Name, prog.NumQubits)
-	fmt.Printf("instructions:     %d ZAIR (%d 1qGate, %d rydberg, %d jobs), %d machine-level\n",
+	var out strings.Builder
+	if multi {
+		fmt.Fprintf(&out, "--- %s ---\n", path)
+	}
+	fmt.Fprintf(&out, "verification:     OK\n")
+	fmt.Fprintf(&out, "program:          %s (%d qubits)\n", prog.Name, prog.NumQubits)
+	fmt.Fprintf(&out, "instructions:     %d ZAIR (%d 1qGate, %d rydberg, %d jobs), %d machine-level\n",
 		prog.NumZAIRInstructions(), cs.OneQGate, cs.Rydberg, cs.RearrangeJobs, cs.MachineInsts)
-	fmt.Printf("moved qubits:     %d (%d transfers)\n", cs.MovedQubits, stats.Transfers)
-	fmt.Printf("duration:         %.3f ms\n", prog.Duration()/1000)
-	fmt.Printf("fidelity:         %.4f (1Q %.4f · 2Q %.4f · transfer %.4f · decoherence %.4f)\n",
+	fmt.Fprintf(&out, "moved qubits:     %d (%d transfers)\n", cs.MovedQubits, stats.Transfers)
+	fmt.Fprintf(&out, "duration:         %.3f ms\n", prog.Duration()/1000)
+	fmt.Fprintf(&out, "fidelity:         %.4f (1Q %.4f · 2Q %.4f · transfer %.4f · decoherence %.4f)\n",
 		b.Total, b.OneQ, b.TwoQ, b.Transfer, b.Decohere)
+	return out.String(), nil
 }
 
 // replayStats reconstructs fidelity statistics from a ZAIR instruction

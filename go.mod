@@ -1,0 +1,3 @@
+module zac
+
+go 1.24

@@ -1,0 +1,22 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a short stable digest of the full architecture
+// specification, suitable as a compilation-cache key component: two
+// architectures with identical zone layouts, AOD arrays, and hardware
+// parameters share a fingerprint. The digest covers the JSON encoding plus
+// the fields the artifact format does not serialize (ZoneSep,
+// MovementAccel).
+func (a *Architecture) Fingerprint() string {
+	h := fnv.New64a()
+	if data, err := json.Marshal(a); err == nil {
+		h.Write(data)
+	}
+	fmt.Fprintf(h, "|sep=%g|accel=%g", a.ZoneSep, a.MovementAccel)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

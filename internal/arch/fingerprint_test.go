@@ -1,0 +1,44 @@
+package arch
+
+import "testing"
+
+func TestFingerprintStable(t *testing.T) {
+	if Reference().Fingerprint() != Reference().Fingerprint() {
+		t.Fatal("two Reference() instances must share a fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesArchitectures(t *testing.T) {
+	archs := map[string]*Architecture{
+		"reference":  Reference(),
+		"monolithic": Monolithic(),
+		"triple":     ReferenceTriple(),
+		"arch1":      Arch1Small(),
+		"arch2":      Arch2TwoZones(),
+		"logical832": Logical832(),
+		"2aod":       WithAODs(Reference(), 2),
+		"4aod":       WithAODs(Reference(), 4),
+	}
+	seen := map[string]string{}
+	for name, a := range archs {
+		fp := a.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("%s and %s share fingerprint %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestFingerprintSeesUnserializedFields(t *testing.T) {
+	a := Reference()
+	base := a.Fingerprint()
+	a.MovementAccel = 1234
+	if a.Fingerprint() == base {
+		t.Error("MovementAccel change must alter the fingerprint")
+	}
+	a.MovementAccel = 0
+	a.ZoneSep *= 2
+	if a.Fingerprint() == base {
+		t.Error("ZoneSep change must alter the fingerprint")
+	}
+}

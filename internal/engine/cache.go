@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a keyed single-flight memo: concurrent Do calls with the same key
+// block until the first caller's compute finishes, then share its result.
+// Values (and errors — compilation here is deterministic, so a failure
+// recomputes to the same failure) stay cached until Reset.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type cacheEntry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*cacheEntry{}}
+}
+
+// Do returns the cached value for key, computing it with compute on the
+// first call. Every call after the first — including calls that arrive while
+// the compute is still in flight — counts as a hit.
+func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.val, e.err
+	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.val, e.err = compute()
+	close(e.ready)
+	return e.val, e.err
+}
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Reset drops every entry and zeroes the counters. Callers must not race a
+// Reset with in-flight Do calls for keys they care about.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = map[string]*cacheEntry{}
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Get is the typed wrapper over Do.
+func Get[T any](c *Cache, key string, compute func() (T, error)) (T, error) {
+	v, err := c.Do(key, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

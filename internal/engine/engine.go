@@ -1,0 +1,110 @@
+// Package engine is the concurrency substrate shared by the experiment
+// harness and the CLIs: a bounded, context-cancellable worker pool with
+// first-error propagation (ForEach, Map) and a keyed single-flight
+// compilation cache (Cache). Results are always assembled by input index,
+// never by arrival order, so parallel runs produce byte-identical output to
+// sequential ones.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker count: values ≤ 0 select runtime.NumCPU().
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines. The first error cancels the remaining work and is returned;
+// fn is never called again after a failure is observed. With one worker the
+// indices run in order on the calling goroutine, which makes workers == 1 an
+// exact sequential execution.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) through ForEach and returns the
+// results in input order. Each worker writes only its own index, so the
+// result slice needs no locking.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var got []int
+	err := ForEach(context.Background(), 1, 5, func(i int) error {
+		got = append(got, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", got)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 200
+	var seen [n]atomic.Int32
+	err := ForEach(context.Background(), 8, n, func(i int) error {
+		seen[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	err := ForEach(context.Background(), 4, 1000, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// The pool must stop early: nowhere near all 1000 tasks should run.
+	if c := calls.Load(); c > 900 {
+		t.Errorf("error did not cancel the pool: %d calls", c)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEach(ctx, 2, 1_000_000, func(i int) error {
+			calls.Add(1)
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not stop after cancellation")
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	out, err := Map(context.Background(), 8, 100, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
+		if i == 7 {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "task 7 failed" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive worker counts must normalize to ≥1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("positive worker counts must pass through")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := Get(c, "k", func() (int, error) {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Get = %v, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 15 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheDistinctKeys(t *testing.T) {
+	c := NewCache()
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, err := Get(c, key, func() (string, error) { return key + "!", nil })
+		if err != nil || v != key+"!" {
+			t.Fatalf("Get(%s) = %v, %v", key, v, err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache()
+	var computes int
+	fail := func() (int, error) { computes++; return 0, errors.New("nope") }
+	if _, err := Get(c, "bad", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := Get(c, "bad", fail); err == nil {
+		t.Fatal("want cached error")
+	}
+	if computes != 1 {
+		t.Fatalf("errored compute ran %d times, want 1", computes)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache()
+	var computes int
+	get := func() (int, error) { computes++; return 1, nil }
+	Get(c, "k", get)
+	c.Reset()
+	Get(c, "k", get)
+	if computes != 2 {
+		t.Fatalf("reset did not evict: %d computes", computes)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+// TestPoolCacheRace drives many workers through overlapping cache keys; its
+// value is under `go test -race`, where any unsynchronized access in the
+// pool or cache trips the detector.
+func TestPoolCacheRace(t *testing.T) {
+	c := NewCache()
+	err := ForEach(context.Background(), 16, 400, func(i int) error {
+		key := fmt.Sprintf("k%d", i%13)
+		v, err := Get(c, key, func() (int, error) { return i % 13, nil })
+		if err != nil {
+			return err
+		}
+		if v != i%13 {
+			return fmt.Errorf("key %s: got %d", key, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 13 || st.Hits != 400-13 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"zac/internal/arch"
+	"zac/internal/baseline/atomique"
+	"zac/internal/baseline/enola"
+	"zac/internal/baseline/nalac"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/core"
+	"zac/internal/fidelity"
+	"zac/internal/resynth"
+	"zac/internal/sc"
+)
+
+// naResult is the common evaluation shape of the neutral-atom and
+// superconducting compilers: fidelity breakdown, circuit duration, and the
+// wall-clock compile time (measured once, at the compilation that populated
+// the cache entry).
+type naResult struct {
+	breakdown fidelity.Breakdown
+	duration  float64 // µs
+	compile   time.Duration
+}
+
+// cachedStaged preprocesses a benchmark (resynthesis to {CZ,U3} + ASAP
+// staging) and splits oversized Rydberg stages to the architecture's site
+// capacity. The cached instance is shared by every compiler; compilers only
+// read it.
+func cachedStaged(cfg Config, b bench.Benchmark, split *arch.Architecture) (*circuit.Staged, error) {
+	key := "staged|" + b.Name + "|split=" + split.Fingerprint()
+	return cached(cfg, key, func() (*circuit.Staged, error) {
+		staged, err := resynth.Preprocess(b.Build())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		return circuit.SplitRydbergStages(staged, split.TotalSites()), nil
+	})
+}
+
+// cachedFlat preprocesses a benchmark without stage splitting — the input
+// shape of the superconducting router.
+func cachedFlat(cfg Config, b bench.Benchmark) (*circuit.Staged, error) {
+	key := "flat|" + b.Name
+	return cached(cfg, key, func() (*circuit.Staged, error) {
+		staged, err := resynth.Preprocess(b.Build())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		return staged, nil
+	})
+}
+
+// cachedZAC compiles a benchmark with the ZAC compiler under the given
+// option preset. optKey must uniquely identify opts — the ablation setting
+// name, a sweep configuration label, or "advReuse".
+func cachedZAC(cfg Config, b bench.Benchmark, a *arch.Architecture, optKey string, opts core.Options) (*core.Result, error) {
+	key := "zac|" + b.Name + "|arch=" + a.Fingerprint() + "|opt=" + optKey
+	return cached(cfg, key, func() (*core.Result, error) {
+		staged, err := cachedStaged(cfg, b, a)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.CompileStaged(staged, a, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s/zac: %w", b.Name, err)
+		}
+		return r, nil
+	})
+}
+
+// cachedZACNativeCCZ is the native-CCZ variant of cachedZAC: the benchmark
+// is preprocessed with PreprocessNativeCCZ and compiled on the three-trap
+// architecture.
+func cachedZACNativeCCZ(cfg Config, b bench.Benchmark, a *arch.Architecture) (*core.Result, error) {
+	key := "zacccz|" + b.Name + "|arch=" + a.Fingerprint()
+	return cached(cfg, key, func() (*core.Result, error) {
+		staged, err := cached(cfg, "stagedccz|"+b.Name+"|split="+a.Fingerprint(), func() (*circuit.Staged, error) {
+			native, err := resynth.PreprocessNativeCCZ(b.Build())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			return circuit.SplitRydbergStages(native, a.TotalSites()), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.CompileStaged(staged, a, core.Default())
+		if err != nil {
+			return nil, fmt.Errorf("%s/zac-ccz: %w", b.Name, err)
+		}
+		return r, nil
+	})
+}
+
+// cachedNALAC compiles the staged circuit (split to the zoned architecture)
+// with the NALAC baseline.
+func cachedNALAC(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
+	key := "nalac|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
+	return cached(cfg, key, func() (naResult, error) {
+		staged, err := cachedStaged(cfg, b, split)
+		if err != nil {
+			return naResult{}, err
+		}
+		t0 := time.Now()
+		r, err := nalac.Compile(staged, a)
+		if err != nil {
+			return naResult{}, fmt.Errorf("%s/nalac: %w", b.Name, err)
+		}
+		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
+	})
+}
+
+// cachedEnola compiles the staged circuit with the Enola baseline.
+func cachedEnola(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
+	key := "enola|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
+	return cached(cfg, key, func() (naResult, error) {
+		staged, err := cachedStaged(cfg, b, split)
+		if err != nil {
+			return naResult{}, err
+		}
+		t0 := time.Now()
+		r, err := enola.Compile(staged, a)
+		if err != nil {
+			return naResult{}, fmt.Errorf("%s/enola: %w", b.Name, err)
+		}
+		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
+	})
+}
+
+// cachedAtomique compiles the staged circuit with the Atomique baseline.
+func cachedAtomique(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
+	key := "atomique|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
+	return cached(cfg, key, func() (naResult, error) {
+		staged, err := cachedStaged(cfg, b, split)
+		if err != nil {
+			return naResult{}, err
+		}
+		t0 := time.Now()
+		r, err := atomique.Compile(staged, a)
+		if err != nil {
+			return naResult{}, fmt.Errorf("%s/atomique: %w", b.Name, err)
+		}
+		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
+	})
+}
+
+// cachedSC compiles the benchmark on one of the two superconducting
+// platforms (ColSCHeron or ColSCGrid).
+func cachedSC(cfg Config, b bench.Benchmark, col string) (naResult, error) {
+	key := "sc|" + b.Name + "|" + col
+	return cached(cfg, key, func() (naResult, error) {
+		staged, err := cachedFlat(cfg, b)
+		if err != nil {
+			return naResult{}, err
+		}
+		var (
+			g *sc.Coupling
+			p fidelity.Params
+		)
+		switch col {
+		case ColSCHeron:
+			g, p = sc.HeavyHex127(), fidelity.SCHeron()
+		case ColSCGrid:
+			g, p = sc.Grid(11, 11), fidelity.SCGrid()
+		default:
+			return naResult{}, fmt.Errorf("experiments: unknown SC column %q", col)
+		}
+		t0 := time.Now()
+		r, err := sc.Compile(staged, g, p)
+		if err != nil {
+			return naResult{}, fmt.Errorf("%s/%s: %w", b.Name, col, err)
+		}
+		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
+	})
+}
+
+// evalCol evaluates one benchmark under one compiler column — the unit of
+// work the experiment runners fan out over the pool. The four neutral-atom
+// columns share the zoned-split staged circuit, exactly as the sequential
+// harness did.
+func evalCol(cfg Config, col string, b bench.Benchmark) (naResult, error) {
+	switch col {
+	case ColZAC:
+		r, err := cachedZAC(cfg, b, arch.Reference(), core.SettingSADynPlaceReuse, core.Default())
+		if err != nil {
+			return naResult{}, err
+		}
+		return naResult{r.Breakdown, r.Duration, r.CompileTime}, nil
+	case ColNALAC:
+		return cachedNALAC(cfg, b, arch.Reference(), arch.Reference())
+	case ColEnola:
+		return cachedEnola(cfg, b, arch.Reference(), arch.Monolithic())
+	case ColAtomique:
+		return cachedAtomique(cfg, b, arch.Reference(), arch.Monolithic())
+	case ColSCHeron, ColSCGrid:
+		return cachedSC(cfg, b, col)
+	}
+	return naResult{}, fmt.Errorf("experiments: unknown compiler column %q", col)
+}

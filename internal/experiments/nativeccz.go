@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"zac/internal/arch"
 	"zac/internal/bench"
-	"zac/internal/circuit"
 	"zac/internal/core"
-	"zac/internal/resynth"
 )
 
 // NativeCCZ evaluates the §III multi-trap-site capability: the
@@ -13,10 +13,18 @@ import (
 // the reference architecture versus native CCZ gates on the three-trap-site
 // variant (ReferenceTriple). Fewer entangling gates and Rydberg stages
 // trade against the wider site pitch.
-func NativeCCZ(subset []string) ([]*Table, error) {
+func NativeCCZ(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	names := subset
 	if len(names) == 0 {
 		names = []string{"multiply_n13", "seca_n11", "knn_n31", "swap_test_n25"}
+	}
+	benches := make([]bench.Benchmark, len(names))
+	for i, name := range names {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		benches[i] = b
 	}
 	fid := &Table{
 		Title:   "Extension: native CCZ on three-trap sites (fidelity)",
@@ -28,38 +36,33 @@ func NativeCCZ(subset []string) ([]*Table, error) {
 	}
 	ref := arch.Reference()
 	triple := arch.ReferenceTriple()
-	for _, name := range names {
-		b, err := bench.ByName(name)
+	results, err := mapRows(ctx, cfg, len(benches)*2, func(k int) (*core.Result, error) {
+		b, native := benches[k/2], k%2 == 1
+		if native {
+			r, err := cachedZACNativeCCZ(cfg, b, triple)
+			if err != nil {
+				return nil, err
+			}
+			cfg.progressf("nativeccz: %s/native", b.Name)
+			return r, nil
+		}
+		r, err := cachedZAC(cfg, b, ref, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, err
 		}
-		c := b.Build()
-
-		plain, err := resynth.Preprocess(c)
-		if err != nil {
-			return nil, err
-		}
-		plain = circuit.SplitRydbergStages(plain, ref.TotalSites())
-		rPlain, err := core.CompileStaged(plain, ref, core.Default())
-		if err != nil {
-			return nil, err
-		}
-
-		native, err := resynth.PreprocessNativeCCZ(c)
-		if err != nil {
-			return nil, err
-		}
-		native = circuit.SplitRydbergStages(native, triple.TotalSites())
-		rNative, err := core.CompileStaged(native, triple, core.Default())
-		if err != nil {
-			return nil, err
-		}
-
-		fid.AddRow(name, map[string]float64{
-			"decomposed": rPlain.Breakdown.Total, "nativeCCZ": rNative.Breakdown.Total,
+		cfg.progressf("nativeccz: %s/decomposed", b.Name)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		plain, native := results[i*2], results[i*2+1]
+		fid.AddRow(b.Name, map[string]float64{
+			"decomposed": plain.Breakdown.Total, "nativeCCZ": native.Breakdown.Total,
 		})
-		stages.AddRow(name, map[string]float64{
-			"decomposed": float64(rPlain.NumRydbergStages), "nativeCCZ": float64(rNative.NumRydbergStages),
+		stages.AddRow(b.Name, map[string]float64{
+			"decomposed": float64(plain.NumRydbergStages), "nativeCCZ": float64(native.NumRydbergStages),
 		})
 	}
 	return []*Table{fid, stages}, nil

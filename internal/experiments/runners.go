@@ -1,20 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"zac/internal/arch"
-	"zac/internal/baseline/atomique"
-	"zac/internal/baseline/enola"
-	"zac/internal/baseline/nalac"
 	"zac/internal/bench"
-	"zac/internal/circuit"
 	"zac/internal/core"
 	"zac/internal/fidelity"
 	"zac/internal/ftqc"
-	"zac/internal/resynth"
-	"zac/internal/sc"
 )
 
 // Column names shared with the paper's legends.
@@ -26,6 +20,9 @@ const (
 	ColNALAC    = "Zoned-NALAC"
 	ColZAC      = "Zoned-ZAC"
 )
+
+// naCols are the four neutral-atom compiler columns in the paper's order.
+var naCols = []string{ColAtomique, ColEnola, ColNALAC, ColZAC}
 
 // suite resolves a benchmark subset (nil = the full 17-circuit suite).
 func suite(subset []string) ([]bench.Benchmark, error) {
@@ -43,89 +40,33 @@ func suite(subset []string) ([]bench.Benchmark, error) {
 	return out, nil
 }
 
-// preprocess builds and stages a benchmark, splitting oversized stages to
-// the reference architecture's site capacity.
-func preprocess(b bench.Benchmark, a *arch.Architecture) (*circuit.Staged, error) {
-	staged, err := resynth.Preprocess(b.Build())
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
-	}
-	return circuit.SplitRydbergStages(staged, a.TotalSites()), nil
-}
-
-// naResult is the common evaluation shape of all four neutral-atom
-// compilers.
-type naResult struct {
-	breakdown fidelity.Breakdown
-	duration  float64 // µs
-	compile   time.Duration
-}
-
-// runNA evaluates one circuit under the four neutral-atom compilers.
-func runNA(b bench.Benchmark) (map[string]naResult, error) {
-	zoned := arch.Reference()
-	mono := arch.Monolithic()
-	out := map[string]naResult{}
-
-	staged, err := preprocess(b, zoned)
+// benchCols runs one pool task per (benchmark, compiler column) pair and
+// returns results[benchIdx][col], assembled in input order.
+func benchCols(ctx context.Context, cfg Config, exp string, benches []bench.Benchmark, cols []string) ([]map[string]naResult, error) {
+	flat, err := mapRows(ctx, cfg, len(benches)*len(cols), func(k int) (naResult, error) {
+		b, col := benches[k/len(cols)], cols[k%len(cols)]
+		r, err := evalCol(cfg, col, b)
+		if err != nil {
+			return naResult{}, err
+		}
+		cfg.progressf("%s: %s/%s", exp, b.Name, col)
+		return r, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	t0 := time.Now()
-	zr, err := core.CompileStaged(staged, zoned, core.Default())
-	if err != nil {
-		return nil, fmt.Errorf("%s/zac: %w", b.Name, err)
+	out := make([]map[string]naResult, len(benches))
+	for i := range benches {
+		out[i] = map[string]naResult{}
+		for j, col := range cols {
+			out[i][col] = flat[i*len(cols)+j]
+		}
 	}
-	out[ColZAC] = naResult{zr.Breakdown, zr.Duration, time.Since(t0)}
-
-	t0 = time.Now()
-	nr, err := nalac.Compile(staged, zoned)
-	if err != nil {
-		return nil, fmt.Errorf("%s/nalac: %w", b.Name, err)
-	}
-	out[ColNALAC] = naResult{nr.Breakdown, nr.Duration, time.Since(t0)}
-
-	t0 = time.Now()
-	er, err := enola.Compile(staged, mono)
-	if err != nil {
-		return nil, fmt.Errorf("%s/enola: %w", b.Name, err)
-	}
-	out[ColEnola] = naResult{er.Breakdown, er.Duration, time.Since(t0)}
-
-	t0 = time.Now()
-	ar, err := atomique.Compile(staged, mono)
-	if err != nil {
-		return nil, fmt.Errorf("%s/atomique: %w", b.Name, err)
-	}
-	out[ColAtomique] = naResult{ar.Breakdown, ar.Duration, time.Since(t0)}
-	return out, nil
-}
-
-// runSC evaluates one circuit on both superconducting architectures.
-func runSC(b bench.Benchmark) (map[string]naResult, error) {
-	staged, err := resynth.Preprocess(b.Build())
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]naResult{}
-	t0 := time.Now()
-	hr, err := sc.Compile(staged, sc.HeavyHex127(), fidelity.SCHeron())
-	if err != nil {
-		return nil, fmt.Errorf("%s/heron: %w", b.Name, err)
-	}
-	out[ColSCHeron] = naResult{hr.Breakdown, hr.Duration, time.Since(t0)}
-	t0 = time.Now()
-	gr, err := sc.Compile(staged, sc.Grid(11, 11), fidelity.SCGrid())
-	if err != nil {
-		return nil, fmt.Errorf("%s/grid: %w", b.Name, err)
-	}
-	out[ColSCGrid] = naResult{gr.Breakdown, gr.Duration, time.Since(t0)}
 	return out, nil
 }
 
 // Table1 prints the hardware parameters (paper Table I).
-func Table1() ([]*Table, error) {
+func Table1(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	t := &Table{
 		Title:   "Table I: hardware parameters",
 		Columns: []string{"f2", "f1", "T1q(us)", "T2q(us)", "T2(us)"},
@@ -145,7 +86,7 @@ func Table1() ([]*Table, error) {
 
 // Fig1c reproduces the monolithic fidelity breakdown of Fig. 1c: the
 // excitation of idle qubits dominates even with optimal Rydberg exposures.
-func Fig1c(subset []string) ([]*Table, error) {
+func Fig1c(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
@@ -155,22 +96,25 @@ func Fig1c(subset []string) ([]*Table, error) {
 		Columns: []string{"2Q-pure", "excitation", "transfer", "decoherence", "1Q", "total"},
 	}
 	mono := arch.Monolithic()
-	for _, b := range benches {
-		staged, err := preprocess(b, mono)
+	rows, err := mapRows(ctx, cfg, len(benches), func(i int) (fidelity.Breakdown, error) {
+		r, err := cachedEnola(cfg, benches[i], mono, mono)
 		if err != nil {
-			return nil, err
+			return fidelity.Breakdown{}, err
 		}
-		r, err := enola.Compile(staged, mono)
-		if err != nil {
-			return nil, err
-		}
+		cfg.progressf("fig1c: %s", benches[i].Name)
+		return r.breakdown, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		t.AddRow(b.Name, map[string]float64{
-			"2Q-pure":     r.Breakdown.TwoQ,
-			"excitation":  r.Breakdown.Excite,
-			"transfer":    r.Breakdown.Transfer,
-			"decoherence": r.Breakdown.Decohere,
-			"1Q":          r.Breakdown.OneQ,
-			"total":       r.Breakdown.Total,
+			"2Q-pure":     rows[i].TwoQ,
+			"excitation":  rows[i].Excite,
+			"transfer":    rows[i].Transfer,
+			"decoherence": rows[i].Decohere,
+			"1Q":          rows[i].OneQ,
+			"total":       rows[i].Total,
 		})
 	}
 	t.Notes = append(t.Notes, "side-effect (excitation) noise should dominate — compare columns")
@@ -178,30 +122,24 @@ func Fig1c(subset []string) ([]*Table, error) {
 }
 
 // Fig8 reproduces the six-way architecture comparison.
-func Fig8(subset []string) ([]*Table, error) {
+func Fig8(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
 	}
+	cols := []string{ColSCHeron, ColSCGrid, ColAtomique, ColEnola, ColNALAC, ColZAC}
 	t := &Table{
 		Title:   "Fig 8: circuit fidelity across architectures",
-		Columns: []string{ColSCHeron, ColSCGrid, ColAtomique, ColEnola, ColNALAC, ColZAC},
+		Columns: cols,
 	}
-	for _, b := range benches {
-		na, err := runNA(b)
-		if err != nil {
-			return nil, err
-		}
-		scr, err := runSC(b)
-		if err != nil {
-			return nil, err
-		}
+	res, err := benchCols(ctx, cfg, "fig8", benches, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		row := map[string]float64{}
-		for k, v := range na {
-			row[k] = v.breakdown.Total
-		}
-		for k, v := range scr {
-			row[k] = v.breakdown.Total
+		for col, v := range res[i] {
+			row[col] = v.breakdown.Total
 		}
 		t.AddRow(fmt.Sprintf("%s(%d,%d)", b.Name, b.Paper2Q, b.Paper1Q), row)
 	}
@@ -211,25 +149,24 @@ func Fig8(subset []string) ([]*Table, error) {
 // Fig9 reproduces the fidelity breakdown comparison for the four
 // neutral-atom compilers: 2Q gates (including excitation), atom transfer,
 // and decoherence.
-func Fig9(subset []string) ([]*Table, error) {
+func Fig9(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
 	}
-	cols := []string{ColAtomique, ColEnola, ColNALAC, ColZAC}
-	twoQ := &Table{Title: "Fig 9a: 2Q-gate fidelity (incl. excitation)", Columns: cols}
-	tran := &Table{Title: "Fig 9b: atom-transfer fidelity", Columns: cols}
-	deco := &Table{Title: "Fig 9c: decoherence fidelity", Columns: cols}
-	for _, b := range benches {
-		na, err := runNA(b)
-		if err != nil {
-			return nil, err
-		}
+	twoQ := &Table{Title: "Fig 9a: 2Q-gate fidelity (incl. excitation)", Columns: naCols}
+	tran := &Table{Title: "Fig 9b: atom-transfer fidelity", Columns: naCols}
+	deco := &Table{Title: "Fig 9c: decoherence fidelity", Columns: naCols}
+	res, err := benchCols(ctx, cfg, "fig9", benches, naCols)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		r2, rt, rd := map[string]float64{}, map[string]float64{}, map[string]float64{}
-		for k, v := range na {
-			r2[k] = v.breakdown.TwoQCombined()
-			rt[k] = v.breakdown.Transfer
-			rd[k] = v.breakdown.Decohere
+		for col, v := range res[i] {
+			r2[col] = v.breakdown.TwoQCombined()
+			rt[col] = v.breakdown.Transfer
+			rd[col] = v.breakdown.Decohere
 		}
 		twoQ.AddRow(b.Name, r2)
 		tran.AddRow(b.Name, rt)
@@ -239,23 +176,23 @@ func Fig9(subset []string) ([]*Table, error) {
 }
 
 // Fig10 reproduces the circuit-duration comparison (milliseconds).
-func Fig10(subset []string) ([]*Table, error) {
+func Fig10(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{
 		Title:   "Fig 10: circuit duration (ms)",
-		Columns: []string{ColAtomique, ColEnola, ColNALAC, ColZAC},
+		Columns: naCols,
 	}
-	for _, b := range benches {
-		na, err := runNA(b)
-		if err != nil {
-			return nil, err
-		}
+	res, err := benchCols(ctx, cfg, "fig10", benches, naCols)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		row := map[string]float64{}
-		for k, v := range na {
-			row[k] = v.duration / 1000
+		for col, v := range res[i] {
+			row[col] = v.duration / 1000
 		}
 		t.AddRow(b.Name, row)
 	}
@@ -264,48 +201,51 @@ func Fig10(subset []string) ([]*Table, error) {
 
 // Table2 reproduces the fidelity breakdown and average duration for the
 // superconducting grid architecture and ZAC.
-func Table2(subset []string) ([]*Table, error) {
+func Table2(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
 	}
 	zoned := arch.Reference()
-	grid := sc.Grid(11, 11)
+
+	type pair struct {
+		zac *core.Result
+		sc  naResult
+	}
+	pairs, err := mapRows(ctx, cfg, len(benches), func(i int) (pair, error) {
+		zr, err := cachedZAC(cfg, benches[i], zoned, core.SettingSADynPlaceReuse, core.Default())
+		if err != nil {
+			return pair{}, err
+		}
+		gr, err := cachedSC(cfg, benches[i], ColSCGrid)
+		if err != nil {
+			return pair{}, err
+		}
+		cfg.progressf("table2: %s", benches[i].Name)
+		return pair{zr, gr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	type agg struct {
 		twoQ, oneQ, tran, deco, total []float64
 		dur                           float64
 	}
 	var scA, zacA agg
-	for _, b := range benches {
-		staged, err := preprocess(b, zoned)
-		if err != nil {
-			return nil, err
-		}
-		zr, err := core.CompileStaged(staged, zoned, core.Default())
-		if err != nil {
-			return nil, err
-		}
-		zacA.twoQ = append(zacA.twoQ, zr.Breakdown.TwoQCombined())
-		zacA.oneQ = append(zacA.oneQ, zr.Breakdown.OneQ)
-		zacA.tran = append(zacA.tran, zr.Breakdown.Transfer)
-		zacA.deco = append(zacA.deco, zr.Breakdown.Decohere)
-		zacA.total = append(zacA.total, zr.Breakdown.Total)
-		zacA.dur += zr.Duration
+	for _, p := range pairs {
+		zacA.twoQ = append(zacA.twoQ, p.zac.Breakdown.TwoQCombined())
+		zacA.oneQ = append(zacA.oneQ, p.zac.Breakdown.OneQ)
+		zacA.tran = append(zacA.tran, p.zac.Breakdown.Transfer)
+		zacA.deco = append(zacA.deco, p.zac.Breakdown.Decohere)
+		zacA.total = append(zacA.total, p.zac.Breakdown.Total)
+		zacA.dur += p.zac.Duration
 
-		flat, err := resynth.Preprocess(b.Build())
-		if err != nil {
-			return nil, err
-		}
-		gr, err := sc.Compile(flat, grid, fidelity.SCGrid())
-		if err != nil {
-			return nil, err
-		}
-		scA.twoQ = append(scA.twoQ, gr.Breakdown.TwoQ)
-		scA.oneQ = append(scA.oneQ, gr.Breakdown.OneQ)
-		scA.deco = append(scA.deco, gr.Breakdown.Decohere)
-		scA.total = append(scA.total, gr.Breakdown.Total)
-		scA.dur += gr.Duration
+		scA.twoQ = append(scA.twoQ, p.sc.breakdown.TwoQ)
+		scA.oneQ = append(scA.oneQ, p.sc.breakdown.OneQ)
+		scA.deco = append(scA.deco, p.sc.breakdown.Decohere)
+		scA.total = append(scA.total, p.sc.breakdown.Total)
+		scA.dur += p.sc.duration
 	}
 	n := float64(len(benches))
 	t := &Table{
@@ -325,27 +265,33 @@ func Table2(subset []string) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// ablationSettings are the four compiler presets of the paper's Fig. 11/12.
+var ablationSettings = []string{core.SettingVanilla, core.SettingDynPlace, core.SettingDynPlaceReuse, core.SettingSADynPlaceReuse}
+
 // Fig11 reproduces the ablation study over the four compiler settings.
-func Fig11(subset []string) ([]*Table, error) {
+func Fig11(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
 	}
-	settings := []string{core.SettingVanilla, core.SettingDynPlace, core.SettingDynPlaceReuse, core.SettingSADynPlaceReuse}
-	t := &Table{Title: "Fig 11: ZAC technique ablation (fidelity)", Columns: settings}
+	t := &Table{Title: "Fig 11: ZAC technique ablation (fidelity)", Columns: ablationSettings}
 	a := arch.Reference()
-	for _, b := range benches {
-		staged, err := preprocess(b, a)
+	vals, err := mapRows(ctx, cfg, len(benches)*len(ablationSettings), func(k int) (float64, error) {
+		b, s := benches[k/len(ablationSettings)], ablationSettings[k%len(ablationSettings)]
+		r, err := cachedZAC(cfg, b, a, s, core.OptionsFor(s))
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("%s/%s: %w", b.Name, s, err)
 		}
+		cfg.progressf("fig11: %s/%s", b.Name, s)
+		return r.Breakdown.Total, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		row := map[string]float64{}
-		for _, s := range settings {
-			r, err := core.CompileStaged(staged, a, core.OptionsFor(s))
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", b.Name, s, err)
-			}
-			row[s] = r.Breakdown.Total
+		for j, s := range ablationSettings {
+			row[s] = vals[i*len(ablationSettings)+j]
 		}
 		t.AddRow(b.Name, row)
 	}
@@ -353,59 +299,79 @@ func Fig11(subset []string) ([]*Table, error) {
 }
 
 // Fig12 reproduces the compilation time vs fidelity trade-off: average
-// compile seconds and geomean fidelity per compiler/setting.
-func Fig12(subset []string) ([]*Table, error) {
+// compile seconds and geomean fidelity per compiler/setting. Because the
+// figure reports wall-clock compile time, every cell bypasses the
+// compilation cache — a cached entry's timestamp would reflect whichever
+// experiment happened to populate it, making the column depend on run
+// order and cache state.
+func Fig12(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
 	}
+	cfg.NoCache = true
 	a := arch.Reference()
 	t := &Table{
 		Title:   "Fig 12: compilation time vs fidelity",
 		Columns: []string{"time(s)", "fidelity"},
 	}
-	// ZAC settings.
-	for _, s := range []string{core.SettingVanilla, core.SettingDynPlace, core.SettingDynPlaceReuse, core.SettingSADynPlaceReuse} {
+	// Row configurations: the four ZAC settings, then the three NA baselines.
+	type rowCfg struct {
+		label   string
+		setting string // non-empty for ZAC rows
+		col     string // non-empty for baseline rows
+	}
+	var rcs []rowCfg
+	for _, s := range ablationSettings {
+		rcs = append(rcs, rowCfg{label: "ZAC-" + s, setting: s})
+	}
+	for _, col := range []string{ColAtomique, ColEnola, ColNALAC} {
+		rcs = append(rcs, rowCfg{label: col, col: col})
+	}
+	type cell struct {
+		secs float64
+		fid  float64
+	}
+	cells, err := mapRows(ctx, cfg, len(rcs)*len(benches), func(k int) (cell, error) {
+		rc, b := rcs[k/len(benches)], benches[k%len(benches)]
+		if rc.setting != "" {
+			r, err := cachedZAC(cfg, b, a, rc.setting, core.OptionsFor(rc.setting))
+			if err != nil {
+				return cell{}, err
+			}
+			cfg.progressf("fig12: %s/%s", b.Name, rc.label)
+			return cell{r.CompileTime.Seconds(), r.Breakdown.Total}, nil
+		}
+		r, err := evalCol(cfg, rc.col, b)
+		if err != nil {
+			return cell{}, err
+		}
+		cfg.progressf("fig12: %s/%s", b.Name, rc.label)
+		return cell{r.compile.Seconds(), r.breakdown.Total}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rc := range rcs {
 		var secs float64
 		var fids []float64
-		for _, b := range benches {
-			staged, err := preprocess(b, a)
-			if err != nil {
-				return nil, err
-			}
-			r, err := core.CompileStaged(staged, a, core.OptionsFor(s))
-			if err != nil {
-				return nil, err
-			}
-			secs += r.CompileTime.Seconds()
-			fids = append(fids, r.Breakdown.Total)
+		for j := range benches {
+			c := cells[i*len(benches)+j]
+			secs += c.secs
+			fids = append(fids, c.fid)
 		}
-		t.AddRow("ZAC-"+s, map[string]float64{
+		t.AddRow(rc.label, map[string]float64{
 			"time(s)": secs / float64(len(benches)), "fidelity": fidelity.GeoMean(fids),
 		})
 	}
-	// Baselines.
-	for _, row := range []string{ColAtomique, ColEnola, ColNALAC} {
-		var secs float64
-		var fids []float64
-		for _, b := range benches {
-			na, err := runNA(b)
-			if err != nil {
-				return nil, err
-			}
-			secs += na[row].compile.Seconds()
-			fids = append(fids, na[row].breakdown.Total)
-		}
-		t.AddRow(row, map[string]float64{
-			"time(s)": secs / float64(len(benches)), "fidelity": fidelity.GeoMean(fids),
-		})
-	}
+	t.Notes = append(t.Notes,
+		"compile times are wall-clock; run with -parallel 1 for contention-free timing")
 	return []*Table{t}, nil
 }
 
 // Fig13 reproduces the optimality study: ZAC against the perfect-movement,
 // perfect-placement and perfect-reuse upper bounds.
-func Fig13(subset []string) ([]*Table, error) {
+func Fig13(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
@@ -415,27 +381,35 @@ func Fig13(subset []string) ([]*Table, error) {
 		Title:   "Fig 13: optimality analysis (fidelity)",
 		Columns: []string{"PerfectReuse", "PerfectPlacement", "PerfectMovement", "ZAC"},
 	}
-	for _, b := range benches {
-		staged, err := preprocess(b, a)
+	rows, err := mapRows(ctx, cfg, len(benches), func(i int) (map[string]float64, error) {
+		b := benches[i]
+		staged, err := cachedStaged(cfg, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.CompileStaged(staged, a, core.Default())
+		r, err := cachedZAC(cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(b.Name, map[string]float64{
+		cfg.progressf("fig13: %s", b.Name)
+		return map[string]float64{
 			"PerfectReuse":     core.PerfectReuse(a, staged, r.Plan).Total,
 			"PerfectPlacement": core.PerfectPlacement(a, staged, r.Plan).Total,
 			"PerfectMovement":  core.PerfectMovement(a, staged, r.Plan).Total,
 			"ZAC":              r.Breakdown.Total,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.AddRow(b.Name, rows[i])
 	}
 	return []*Table{t}, nil
 }
 
 // Fig14 reproduces the multi-AOD study (1–4 AODs).
-func Fig14(subset []string) ([]*Table, error) {
+func Fig14(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
@@ -444,19 +418,24 @@ func Fig14(subset []string) ([]*Table, error) {
 		Title:   "Fig 14: fidelity vs AOD count",
 		Columns: []string{"1AOD", "2AOD", "3AOD", "4AOD"},
 	}
-	for _, b := range benches {
+	const nAODs = 4
+	vals, err := mapRows(ctx, cfg, len(benches)*nAODs, func(k int) (float64, error) {
+		b, n := benches[k/nAODs], k%nAODs+1
+		a := arch.WithAODs(arch.Reference(), n)
+		r, err := cachedZAC(cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
+		if err != nil {
+			return 0, err
+		}
+		cfg.progressf("fig14: %s/%dAOD", b.Name, n)
+		return r.Breakdown.Total, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		row := map[string]float64{}
-		for n := 1; n <= 4; n++ {
-			a := arch.WithAODs(arch.Reference(), n)
-			staged, err := preprocess(b, a)
-			if err != nil {
-				return nil, err
-			}
-			r, err := core.CompileStaged(staged, a, core.Default())
-			if err != nil {
-				return nil, err
-			}
-			row[fmt.Sprintf("%dAOD", n)] = r.Breakdown.Total
+		for n := 1; n <= nAODs; n++ {
+			row[fmt.Sprintf("%dAOD", n)] = vals[i*nAODs+n-1]
 		}
 		t.AddRow(b.Name, row)
 	}
@@ -465,7 +444,7 @@ func Fig14(subset []string) ([]*Table, error) {
 
 // MultiZone reproduces §VII-H: ising_n98 on Arch1 (one 6×10 zone) vs Arch2
 // (two 3×10 zones flanking the storage zone).
-func MultiZone() ([]*Table, error) {
+func MultiZone(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	b, err := bench.ByName("ising_n98")
 	if err != nil {
 		return nil, err
@@ -474,35 +453,43 @@ func MultiZone() ([]*Table, error) {
 		Title:   "Sec VII-H: multiple entanglement zones (ising_n98)",
 		Columns: []string{"fidelity", "duration(ms)"},
 	}
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		a    *arch.Architecture
 	}{
 		{"Arch1-1zone", arch.Arch1Small()},
 		{"Arch2-2zones", arch.Arch2TwoZones()},
-	} {
-		staged, err := preprocess(b, tc.a)
-		if err != nil {
-			return nil, err
-		}
-		r, err := core.CompileStaged(staged, tc.a, core.Default())
+	}
+	rows, err := mapRows(ctx, cfg, len(cases), func(i int) (map[string]float64, error) {
+		tc := cases[i]
+		r, err := cachedZAC(cfg, b, tc.a, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", tc.name, err)
 		}
-		t.AddRow(tc.name, map[string]float64{
+		cfg.progressf("multizone: %s", tc.name)
+		return map[string]float64{
 			"fidelity": r.Breakdown.Total, "duration(ms)": r.Duration / 1000,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		t.AddRow(tc.name, rows[i])
 	}
 	t.Notes = append(t.Notes, "paper: Arch1 fidelity 0.041 / 23.25ms; Arch2 0.047 (+15%) / 21.63ms (−8%)")
 	return []*Table{t}, nil
 }
 
 // FTQC reproduces §VIII: the 128-block hIQP compilation.
-func FTQC() ([]*Table, error) {
-	res, err := ftqc.Compile(ftqc.ScaledUp(), arch.Logical832())
+func FTQC(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
+	res, err := cached(cfg, "ftqc|hiqp128", func() (*ftqc.Result, error) {
+		return ftqc.Compile(ftqc.ScaledUp(), arch.Logical832())
+	})
 	if err != nil {
 		return nil, err
 	}
+	cfg.progressf("ftqc: hIQP-128")
 	t := &Table{
 		Title:   "Sec VIII: hIQP on [[8,3,2]] blocks (logical-level ZAC)",
 		Columns: []string{"blocks", "logicalQubits", "transversalGates", "rydbergStages", "duration(ms)"},
@@ -520,7 +507,7 @@ func FTQC() ([]*Table, error) {
 
 // ZAIRStats reproduces the §IX instruction-density metrics: ZAIR
 // instructions per gate and machine instructions per gate.
-func ZAIRStats(subset []string) ([]*Table, error) {
+func ZAIRStats(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	benches, err := suite(subset)
 	if err != nil {
 		return nil, err
@@ -530,22 +517,30 @@ func ZAIRStats(subset []string) ([]*Table, error) {
 		Title:   "Sec IX: ZAIR instruction density",
 		Columns: []string{"zairPerGate", "machinePerGate"},
 	}
-	for _, b := range benches {
-		staged, err := preprocess(b, a)
+	rows, err := mapRows(ctx, cfg, len(benches), func(i int) (map[string]float64, error) {
+		b := benches[i]
+		staged, err := cachedStaged(cfg, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.CompileStaged(staged, a, core.Default())
+		r, err := cachedZAC(cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, err
 		}
 		one, two := staged.GateCounts()
 		gates := float64(one + two)
 		stats := r.Program.CountStats()
-		t.AddRow(b.Name, map[string]float64{
+		cfg.progressf("zair: %s", b.Name)
+		return map[string]float64{
 			"zairPerGate":    float64(r.Program.NumZAIRInstructions()) / gates,
 			"machinePerGate": float64(stats.MachineInsts) / gates,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.AddRow(b.Name, rows[i])
 	}
 	t.Notes = append(t.Notes, "paper geomeans: 0.85 ZAIR inst/gate, 1.77 machine inst/gate")
 	return []*Table{t}, nil

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -127,6 +128,11 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// Runner is an experiment entry point: it compiles the benchmark subset
+// (nil = the experiment's default suite) through the engine described by cfg
+// and returns the paper's tables.
+type Runner func(ctx context.Context, cfg Config, subset []string) ([]*Table, error)
+
 // Registry names every experiment the harness can run.
 func Registry() []string {
 	names := make([]string, 0, len(runners))
@@ -137,18 +143,27 @@ func Registry() []string {
 	return names
 }
 
-// Run executes a named experiment over the given benchmark subset (nil =
-// full suite) and returns its tables.
+// Run executes a named experiment sequentially over the given benchmark
+// subset (nil = full suite) and returns its tables. It is the
+// backward-compatible wrapper over RunWith.
 func Run(name string, subset []string) ([]*Table, error) {
+	return RunWith(context.Background(), Sequential(), name, subset)
+}
+
+// RunWith executes a named experiment through the parallel engine: per
+// (circuit, compiler) compilations fan out over cfg.Parallel workers and
+// shared compilations are served from the process-wide cache. The returned
+// tables are identical for every worker count.
+func RunWith(ctx context.Context, cfg Config, name string, subset []string) ([]*Table, error) {
 	r, ok := runners[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Registry())
 	}
-	return r(subset)
+	return r(ctx, cfg, subset)
 }
 
-var runners = map[string]func(subset []string) ([]*Table, error){
-	"table1":    func(s []string) ([]*Table, error) { return Table1() },
+var runners = map[string]Runner{
+	"table1":    Table1,
 	"fig1c":     Fig1c,
 	"fig8":      Fig8,
 	"fig9":      Fig9,
@@ -158,8 +173,8 @@ var runners = map[string]func(subset []string) ([]*Table, error){
 	"fig12":     Fig12,
 	"fig13":     Fig13,
 	"fig14":     Fig14,
-	"multizone": func(s []string) ([]*Table, error) { return MultiZone() },
-	"ftqc":      func(s []string) ([]*Table, error) { return FTQC() },
+	"multizone": MultiZone,
+	"ftqc":      FTQC,
 	"zair":      ZAIRStats,
 	"advreuse":  AdvReuse,
 	"sweep":     Sweep,

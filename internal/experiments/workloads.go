@@ -1,20 +1,19 @@
 package experiments
 
 import (
-	"zac/internal/arch"
-	"zac/internal/baseline/enola"
-	"zac/internal/baseline/nalac"
+	"context"
+
 	"zac/internal/bench"
-	"zac/internal/circuit"
-	"zac/internal/core"
-	"zac/internal/resynth"
 )
+
+// workloadCols are the compilers the extension study compares.
+var workloadCols = []string{ColEnola, ColNALAC, ColZAC}
 
 // Workloads evaluates the extension workload families (QAOA, VQE, 2D Ising,
 // random Clifford — the algorithm classes the paper's introduction
 // motivates) across the three neutral-atom compilers, checking that ZAC's
 // advantage generalizes beyond the QASMBench suite.
-func Workloads(subset []string) ([]*Table, error) {
+func Workloads(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	var benches []bench.Benchmark
 	if len(subset) == 0 {
 		benches = bench.ExtraAll()
@@ -29,41 +28,26 @@ func Workloads(subset []string) ([]*Table, error) {
 			}
 		}
 	}
-	zoned := arch.Reference()
-	mono := arch.Monolithic()
 	fid := &Table{
 		Title:   "Extension: workload families (fidelity)",
-		Columns: []string{ColEnola, ColNALAC, ColZAC},
+		Columns: workloadCols,
 	}
 	dur := &Table{
 		Title:   "Extension: workload families (duration ms)",
-		Columns: []string{ColEnola, ColNALAC, ColZAC},
+		Columns: workloadCols,
 	}
-	for _, b := range benches {
-		staged, err := resynth.Preprocess(b.Build())
-		if err != nil {
-			return nil, err
+	res, err := benchCols(ctx, cfg, "workloads", benches, workloadCols)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		fRow, dRow := map[string]float64{}, map[string]float64{}
+		for col, v := range res[i] {
+			fRow[col] = v.breakdown.Total
+			dRow[col] = v.duration / 1000
 		}
-		staged = circuit.SplitRydbergStages(staged, zoned.TotalSites())
-
-		zr, err := core.CompileStaged(staged, zoned, core.Default())
-		if err != nil {
-			return nil, err
-		}
-		nr, err := nalac.Compile(staged, zoned)
-		if err != nil {
-			return nil, err
-		}
-		er, err := enola.Compile(staged, mono)
-		if err != nil {
-			return nil, err
-		}
-		fid.AddRow(b.Name, map[string]float64{
-			ColEnola: er.Breakdown.Total, ColNALAC: nr.Breakdown.Total, ColZAC: zr.Breakdown.Total,
-		})
-		dur.AddRow(b.Name, map[string]float64{
-			ColEnola: er.Duration / 1000, ColNALAC: nr.Duration / 1000, ColZAC: zr.Duration / 1000,
-		})
+		fid.AddRow(b.Name, fRow)
+		dur.AddRow(b.Name, dRow)
 	}
 	return []*Table{fid, dur}, nil
 }
