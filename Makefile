@@ -2,12 +2,17 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet doclint build test race bench serve-smoke
 
-check: vet build race
+check: vet doclint build race
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gate: every package needs a package doc comment, and every
+# exported identifier in the engine and serve packages needs its own.
+doclint:
+	$(GO) run ./cmd/zac-doclint -exported internal/engine,internal/serve ./internal ./cmd ./examples
 
 build:
 	$(GO) build ./...
@@ -20,3 +25,8 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuite(Sequential|Parallel)' -benchtime 2x .
+
+# Boot zac-serve against a throwaway cache dir, probe /healthz, compile one
+# circuit, and check /metrics — the same smoke CI runs.
+serve-smoke:
+	./scripts/serve-smoke.sh

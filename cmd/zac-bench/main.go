@@ -4,10 +4,15 @@
 // are memoized in a process-wide cache, so experiments sharing circuits
 // (fig8/fig9/fig10/table2) compile each (circuit, compiler) pair once.
 //
+// With -cachedir the cache gains a persistent disk tier shared with
+// zac-serve and zairsim: a second run over the same directory restores
+// compilation results instead of recomputing them.
+//
 //	zac-bench -experiment fig8
 //	zac-bench -experiment fig9 -circuits bv_n14,ghz_n23
 //	zac-bench -experiment all -csv out/
 //	zac-bench -experiment all -parallel 8 -progress
+//	zac-bench -experiment all -cachedir ~/.cache/zac
 package main
 
 import (
@@ -30,7 +35,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential)")
 	progress := flag.Bool("progress", false, "print one line per completed compilation to stderr")
 	noCache := flag.Bool("nocache", false, "disable the compilation cache (recompile shared circuits)")
+	cacheDir := flag.String("cachedir", "", "persistent compilation-cache directory shared with zac-serve and zairsim")
+	cacheMB := flag.Int64("cachemb", 0, "disk cache size bound in MiB (0 = unbounded; needs -cachedir)")
 	flag.Parse()
+
+	if *cacheDir != "" {
+		if err := experiments.SetCacheDir(*cacheDir, *cacheMB<<20); err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: -cachedir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *list {
 		for _, n := range experiments.Registry() {
@@ -77,10 +91,14 @@ func main() {
 			}
 		}
 	}
-	if *progress {
+	if *progress || *cacheDir != "" {
 		st := experiments.CacheStats()
-		fmt.Fprintf(os.Stderr, "[progress] cache: %d hits, %d misses, %d entries\n",
-			st.Hits, st.Misses, st.Entries)
+		fmt.Fprintf(os.Stderr, "[cache] %d lookups: %d memory hits, %d disk hits, %d misses (%.1f%% hit rate)\n",
+			st.Lookups(), st.MemHits, st.DiskHits, st.Misses, 100*st.HitRate())
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "[cache] disk tier %s: %d entries, %d bytes\n",
+				*cacheDir, st.Disk.Entries, st.Disk.Bytes)
+		}
 	}
 	fmt.Println("[INFO] Finish Compilation")
 }

@@ -1,0 +1,211 @@
+// Command zac-doclint enforces the repo's documentation conventions as a CI
+// gate, using only go/ast (no external linters):
+//
+//   - every package under the given roots must carry a `// Package ...` doc
+//     comment on at least one of its files;
+//   - within the packages named by -exported, every exported top-level
+//     identifier (types, funcs, methods on exported receivers, consts,
+//     vars) must carry a doc comment.
+//
+// Findings print one per line as path: message; a non-zero exit fails CI.
+//
+//	zac-doclint ./internal ./cmd ./examples
+//	zac-doclint -exported internal/engine,internal/serve ./internal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	exported := flag.String("exported", "",
+		"comma-separated directory prefixes whose exported identifiers must all carry doc comments")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	var strict []string
+	if *exported != "" {
+		for _, p := range strings.Split(*exported, ",") {
+			strict = append(strict, filepath.Clean(strings.TrimSpace(p)))
+		}
+	}
+
+	dirs := map[string]bool{}
+	for _, root := range roots {
+		filepath.WalkDir(root, func(path string, de fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if de.IsDir() {
+				if name := de.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+					return fs.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+	}
+
+	var findings []string
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	for _, dir := range sorted {
+		findings = append(findings, lintDir(dir, isStrict(dir, strict))...)
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "zac-doclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// isStrict reports whether dir falls under one of the strict prefixes.
+func isStrict(dir string, strict []string) bool {
+	clean := filepath.Clean(dir)
+	for _, p := range strict {
+		if clean == p || strings.HasPrefix(clean, p+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDir checks one package directory. Test files are skipped entirely.
+func lintDir(dir string, strict bool) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse: %v", dir, err)}
+	}
+
+	var findings []string
+	for name, pkg := range pkgs {
+		// Library packages need the `// Package name ...` form; main
+		// packages follow the `// Command name ...` convention, so any doc
+		// comment counts.
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc == nil {
+				continue
+			}
+			if name == "main" || strings.HasPrefix(strings.TrimSpace(f.Doc.Text()), "Package ") {
+				hasDoc = true
+				break
+			}
+		}
+		if !hasDoc {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no `// Package %s ...` doc comment", dir, name, name))
+		}
+		if strict {
+			findings = append(findings, lintExported(fset, pkg)...)
+		}
+	}
+	return findings
+}
+
+// lintExported flags exported top-level identifiers without doc comments.
+func lintExported(fset *token.FileSet, pkg *ast.Package) []string {
+	var findings []string
+	flag := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				what := "function"
+				if d.Recv != nil {
+					if !receiverExported(d.Recv) {
+						continue // methods on unexported types are not API
+					}
+					what = "method"
+				}
+				flag(d.Pos(), what, d.Name.Name)
+			case *ast.GenDecl:
+				// A doc comment on the grouped declaration covers every
+				// spec inside it (the standard const-block convention).
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil {
+							flag(sp.Pos(), "type", sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if sp.Doc != nil || sp.Comment != nil {
+							continue
+						}
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								flag(n.Pos(), declWhat(d.Tok), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// declWhat names a GenDecl token for findings.
+func declWhat(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	}
+	return tok.String()
+}
+
+// receiverExported reports whether a method's receiver type is exported.
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command zac-serve runs the ZAC compiler as a long-lived HTTP service: it
+// accepts OpenQASM programs (or built-in benchmark names) plus JSON
+// architecture specs, compiles them with bounded concurrency, and returns
+// the ZAIR program and fidelity breakdown as JSON. Results are memoized in
+// the engine's tiered cache; with -cachedir they persist to disk and are
+// shared with zac-bench and zairsim runs pointed at the same directory.
+//
+//	zac-serve -addr :8756 -cachedir ~/.cache/zac
+//	curl -s localhost:8756/healthz
+//	curl -s -X POST localhost:8756/v1/compile -d '{"circuit":"ghz_n23"}'
+//	curl -s localhost:8756/metrics
+//
+// See README.md for the full API reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"zac/internal/engine"
+	"zac/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8756", "listen address")
+	cacheDir := flag.String("cachedir", "", "persistent compilation-cache directory shared with zac-bench and zairsim")
+	cacheMB := flag.Int64("cachemb", 0, "disk cache size bound in MiB (0 = unbounded; needs -cachedir)")
+	parallel := flag.Int("parallel", 0, "max concurrent compilations (0 = all CPUs)")
+	memEntries := flag.Int("mementries", 4096, "in-memory cache capacity in entries (0 = unbounded)")
+	maxBatch := flag.Int("maxbatch", 64, "max requests per batch")
+	flag.Parse()
+
+	opts := serve.Options{Parallel: *parallel, MemEntries: *memEntries, MaxBatch: *maxBatch}
+	if *cacheDir != "" {
+		disk, err := engine.OpenDiskCache(*cacheDir, *cacheMB<<20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zac-serve: -cachedir: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Disk = disk
+		st := disk.Stats()
+		fmt.Fprintf(os.Stderr, "zac-serve: disk cache %s: %d entries, %d bytes\n",
+			disk.Dir(), st.Entries, st.Bytes)
+	}
+
+	srv := serve.New(opts)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "zac-serve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "zac-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "zac-serve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "zac-serve: drained, bye")
+}

@@ -4,15 +4,20 @@
 // consumer-side counterpart of the compiler, useful for validating
 // externally generated or hand-edited ZAIR programs. Multiple programs are
 // verified concurrently through the engine's worker pool; reports print in
-// argument order.
+// argument order. With -cachedir, verification reports are cached on disk
+// (keyed by program content digest and architecture fingerprint, the same
+// cache directory zac-serve and zac-bench use), so re-verifying unchanged
+// programs is free.
 //
 //	zairsim -program bv.zair.json
 //	zairsim -program bv.zair.json -arch custom_arch.json
 //	zairsim -parallel 4 a.zair.json b.zair.json c.zair.json
+//	zairsim -cachedir ~/.cache/zac big.zair.json
 package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,7 +36,17 @@ func main() {
 	programPath := flag.String("program", "", "ZAIR program JSON file (may also be given as positional arguments)")
 	archPath := flag.String("arch", "", "architecture JSON (default: reference architecture)")
 	parallel := flag.Int("parallel", 0, "worker pool size for multiple programs (0 = all CPUs)")
+	cacheDir := flag.String("cachedir", "", "persistent report-cache directory shared with zac-serve and zac-bench")
 	flag.Parse()
+
+	cache := engine.NewTiered(0)
+	if *cacheDir != "" {
+		disk, err := engine.OpenDiskCache(*cacheDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		cache.SetDisk(disk)
+	}
 
 	paths := flag.Args()
 	if *programPath != "" {
@@ -55,7 +70,14 @@ func main() {
 	}
 
 	reports, err := engine.Map(context.Background(), *parallel, len(paths), func(i int) (string, error) {
-		return report(paths[i], a, len(paths) > 1)
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			return "", err
+		}
+		key := fmt.Sprintf("zairsim|prog=%x|arch=%s", sha256.Sum256(data), a.Fingerprint())
+		return engine.GetTiered(cache, key, engine.JSONCodec[string](), func() (string, error) {
+			return report(paths[i], data, a)
+		})
 	})
 	if err != nil {
 		fatal(err)
@@ -64,16 +86,15 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
+		if len(paths) > 1 {
+			fmt.Printf("--- %s ---\n", paths[i])
+		}
 		fmt.Print(r)
 	}
 }
 
 // report verifies and evaluates one program, returning its printable report.
-func report(path string, a *arch.Architecture, multi bool) (string, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return "", err
-	}
+func report(path string, data []byte, a *arch.Architecture) (string, error) {
 	var prog zair.Program
 	if err := json.Unmarshal(data, &prog); err != nil {
 		return "", fmt.Errorf("parsing %s: %w", path, err)
@@ -88,9 +109,6 @@ func report(path string, a *arch.Architecture, multi bool) (string, error) {
 	b := fidelity.Compute(core.ParamsFromArch(a), stats)
 	cs := prog.CountStats()
 	var out strings.Builder
-	if multi {
-		fmt.Fprintf(&out, "--- %s ---\n", path)
-	}
 	fmt.Fprintf(&out, "verification:     OK\n")
 	fmt.Fprintf(&out, "program:          %s (%d qubits)\n", prog.Name, prog.NumQubits)
 	fmt.Fprintf(&out, "instructions:     %d ZAIR (%d 1qGate, %d rydberg, %d jobs), %d machine-level\n",

@@ -3,7 +3,9 @@
 // HPCA 2025): the ZAC compiler, the ZAIR intermediate representation, the
 // zoned-architecture specification, the paper's fidelity model, the four
 // baseline compilers of its evaluation, the QASMBench-derived benchmark
-// suite, and a harness that regenerates every table and figure.
+// suite, a harness that regenerates every table and figure, and an HTTP
+// compilation service (zac-serve) backed by a restart-surviving tiered
+// result cache.
 //
 // The root package holds only documentation and the paper-level benchmark
 // harness (bench_test.go); the implementation lives under internal/ (see

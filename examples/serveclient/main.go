@@ -1,0 +1,142 @@
+// Command serveclient demonstrates driving the zac-serve HTTP API from Go:
+// it submits a batch of QASMBench circuits as an async job, polls the job
+// until it finishes, and prints a per-circuit fidelity table plus the
+// service's cache metrics. Run `zac-serve` first (ideally with -cachedir,
+// so a second serveclient run is served from cache):
+//
+//	go run ./cmd/zac-serve -cachedir /tmp/zac-cache &
+//	go run ./examples/serveclient
+//	go run ./examples/serveclient -base http://localhost:8756 -circuits bv_n14,qft_n18
+//
+// The request/response structs below mirror the wire format documented in
+// README.md; an external client only needs net/http and encoding/json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// compileRequest mirrors the POST /v1/compile request item.
+type compileRequest struct {
+	Circuit string `json:"circuit,omitempty"`
+	Setting string `json:"setting,omitempty"`
+}
+
+// batchRequest mirrors the POST /v1/compile batch body.
+type batchRequest struct {
+	Requests []compileRequest `json:"requests"`
+	Async    bool             `json:"async"`
+}
+
+// compileResponse mirrors the fields of a compile result this example
+// reads; unknown fields are ignored by encoding/json.
+type compileResponse struct {
+	Name       string  `json:"name"`
+	NumQubits  int     `json:"num_qubits"`
+	DurationUS float64 `json:"duration_us"`
+	CompileMS  float64 `json:"compile_ms"`
+	Cached     bool    `json:"cached"`
+	Fidelity   struct {
+		Total float64 `json:"Total"`
+	} `json:"fidelity"`
+}
+
+// batchItem mirrors one entry of a job's results array.
+type batchItem struct {
+	Result *compileResponse `json:"result"`
+	Error  string           `json:"error"`
+}
+
+// jobResponse mirrors GET /v1/jobs/{id}.
+type jobResponse struct {
+	ID        string      `json:"id"`
+	Status    string      `json:"status"`
+	Total     int         `json:"total"`
+	Completed int         `json:"completed"`
+	Results   []batchItem `json:"results"`
+}
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8756", "zac-serve base URL")
+	circuits := flag.String("circuits", "seca_n11,multiply_n13,bv_n14,qft_n18,ghz_n23",
+		"comma-separated built-in benchmark names to compile")
+	flag.Parse()
+
+	var req batchRequest
+	req.Async = true
+	for _, name := range strings.Split(*circuits, ",") {
+		req.Requests = append(req.Requests, compileRequest{Circuit: strings.TrimSpace(name)})
+	}
+
+	// Submit the batch; the service answers 202 with a job id immediately.
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(*base+"/v1/compile?zair=0", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(fmt.Errorf("is zac-serve running at %s? %w", *base, err))
+	}
+	var job jobResponse
+	decodeBody(resp, &job)
+	if job.ID == "" {
+		fatal(fmt.Errorf("no job id in submit response"))
+	}
+	fmt.Printf("submitted %s: %d circuits\n", job.ID, job.Total)
+
+	// Poll until the job leaves the pending/running states.
+	for job.Status == "pending" || job.Status == "running" {
+		time.Sleep(100 * time.Millisecond)
+		resp, err := http.Get(*base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			fatal(err)
+		}
+		decodeBody(resp, &job)
+		fmt.Printf("  %s: %d/%d done\n", job.Status, job.Completed, job.Total)
+	}
+
+	fmt.Printf("\n%-16s %7s %12s %12s %7s\n", "circuit", "qubits", "fidelity", "duration", "cached")
+	for _, item := range job.Results {
+		if item.Error != "" {
+			fmt.Printf("%-16s ERROR: %s\n", "-", item.Error)
+			continue
+		}
+		r := item.Result
+		fmt.Printf("%-16s %7d %12.4f %9.3f ms %7v\n",
+			r.Name, r.NumQubits, r.Fidelity.Total, r.DurationUS/1000, r.Cached)
+	}
+
+	// Show what the round trip cost the service.
+	resp, err = http.Get(*base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	var metrics struct {
+		Cache struct {
+			MemHits  uint64  `json:"mem_hits"`
+			DiskHits uint64  `json:"disk_hits"`
+			Misses   uint64  `json:"misses"`
+			HitRate  float64 `json:"hit_rate"`
+		} `json:"cache"`
+	}
+	decodeBody(resp, &metrics)
+	fmt.Printf("\nservice cache: %d mem hits, %d disk hits, %d misses (%.0f%% hit rate)\n",
+		metrics.Cache.MemHits, metrics.Cache.DiskHits, metrics.Cache.Misses, 100*metrics.Cache.HitRate)
+}
+
+// decodeBody decodes a JSON response body into v and closes it.
+func decodeBody(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fatal(fmt.Errorf("decoding response: %w", err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "serveclient: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// diskMagic versions the on-disk entry format; bumping it invalidates every
+// existing cache file (they read as corrupt and are discarded).
+const diskMagic = "zacdisk1"
+
+// diskSuffix is the extension of committed cache entries; writers stage
+// under a ".tmp" name first, so readers never observe a half-written entry.
+const diskSuffix = ".zc"
+
+// DiskCache is a content-addressed byte store on the local filesystem: keys
+// hash to fan-out subdirectories, entries carry a checksum header, writes go
+// through a temp file plus atomic rename, and corrupt or truncated entries
+// are detected on read and silently discarded as misses. It is safe for
+// concurrent use within a process and for concurrent readers across
+// processes sharing the directory (the rename commit is atomic).
+type DiskCache struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex // guards size/entries accounting and eviction scans
+	size    int64
+	entries int
+
+	hits, misses, corrupt, evicted atomic.Uint64
+}
+
+// OpenDiskCache opens (creating if needed) a disk cache rooted at dir.
+// maxBytes bounds the total payload+header bytes on disk (0 = unbounded);
+// when the directory is over the bound — at open, or after a Put — the
+// least recently read entries are evicted. Stale temp files from crashed
+// writers are removed. Size accounting is refreshed from the filesystem on
+// every eviction scan, so a directory shared with other writers converges
+// back under the bound whenever this process's own writes trigger one.
+func OpenDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("engine: disk cache directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &DiskCache{dir: dir, maxBytes: maxBytes}
+	err := filepath.WalkDir(dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		switch {
+		case strings.HasSuffix(path, ".tmp"):
+			os.Remove(path) // leftover from an interrupted writer
+		case strings.HasSuffix(path, diskSuffix):
+			if info, err := de.Info(); err == nil {
+				d.size += info.Size()
+				d.entries++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d.maxBytes > 0 && d.size > d.maxBytes {
+		d.evict("")
+	}
+	return d, nil
+}
+
+// Dir returns the cache's root directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// path maps a key to its entry file: two hex characters of fan-out, then the
+// full SHA-256 of the key.
+func (d *DiskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(d.dir, name[:2], name+diskSuffix)
+}
+
+// Get returns the payload stored for key. A missing, truncated, corrupt, or
+// colliding entry reads as a miss; damaged files are deleted so the next Put
+// can rewrite them. A successful read refreshes the entry's mtime, which is
+// the recency signal eviction sorts by.
+func (d *DiskCache) Get(key string) ([]byte, bool) {
+	path := d.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decodeEntry(raw, key)
+	if !ok {
+		d.corrupt.Add(1)
+		d.misses.Add(1)
+		d.discard(path)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best effort: feed the LRU eviction order
+	d.hits.Add(1)
+	return payload, true
+}
+
+// Put stores payload under key, replacing any previous entry, and evicts
+// least recently read entries if the size bound is exceeded.
+func (d *DiskCache) Put(key string, payload []byte) error {
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	entry := encodeEntry(key, payload)
+
+	var prev int64
+	replacing := false
+	if info, err := os.Stat(path); err == nil {
+		prev, replacing = info.Size(), true
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(entry); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+
+	d.mu.Lock()
+	d.size += int64(len(entry)) - prev
+	if !replacing {
+		d.entries++
+	}
+	over := d.maxBytes > 0 && d.size > d.maxBytes
+	d.mu.Unlock()
+	if over {
+		d.evict(path)
+	}
+	return nil
+}
+
+// Remove deletes the entry for key if present.
+func (d *DiskCache) Remove(key string) { d.discard(d.path(key)) }
+
+// discard deletes an entry file by path and fixes the accounting.
+func (d *DiskCache) discard(path string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	if os.Remove(path) != nil {
+		return
+	}
+	d.mu.Lock()
+	d.size -= info.Size()
+	d.entries--
+	d.mu.Unlock()
+}
+
+// evict removes least recently read entries (oldest mtime first) until the
+// cache fits 90% of the byte bound — the hysteresis keeps a steady-state
+// bounded cache from re-walking the directory on every single Put. keep is
+// never evicted — it is the entry whose Put triggered the scan. The walk's
+// totals replace the in-memory accounting, so entries added or removed by
+// other processes sharing the directory are reconciled here.
+func (d *DiskCache) evict(keep string) {
+	type entry struct {
+		path  string
+		mtime time.Time
+		size  int64
+	}
+	var all []entry
+	var keepSize, total int64
+	filepath.WalkDir(d.dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(path, diskSuffix) {
+			return nil
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil
+		}
+		total += info.Size()
+		if path == keep {
+			keepSize = info.Size()
+			return nil
+		}
+		all = append(all, entry{path, info.ModTime(), info.Size()})
+		return nil
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.size = total
+	d.entries = len(all)
+	if keep != "" {
+		d.entries++
+	}
+	target := d.maxBytes - d.maxBytes/10
+	if target < keepSize {
+		target = keepSize
+	}
+	for _, e := range all {
+		if d.size <= target {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			d.size -= e.size
+			d.entries--
+			d.evicted.Add(1)
+		}
+	}
+}
+
+// DiskStats reports the disk tier's counters.
+type DiskStats struct {
+	Entries int
+	Bytes   int64
+	Hits    uint64
+	Misses  uint64
+	Corrupt uint64 // entries dropped by checksum/header verification
+	Evicted uint64 // entries removed by the size bound
+}
+
+// Stats returns the current counters.
+func (d *DiskCache) Stats() DiskStats {
+	d.mu.Lock()
+	entries, size := d.entries, d.size
+	d.mu.Unlock()
+	return DiskStats{
+		Entries: entries, Bytes: size,
+		Hits: d.hits.Load(), Misses: d.misses.Load(),
+		Corrupt: d.corrupt.Load(), Evicted: d.evicted.Load(),
+	}
+}
+
+// encodeEntry frames a payload with a verifiable header:
+//
+//	zacdisk1 <sha256(payload) hex> <len(payload)> <url-escaped key>\n<payload>
+//
+// The escaped key makes hash collisions (and accidental cross-key reads
+// after a format change) detectable, and doubles as debugging metadata.
+func encodeEntry(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %d %s\n", diskMagic, hex.EncodeToString(sum[:]), len(payload), url.QueryEscape(key))
+	return append([]byte(header), payload...)
+}
+
+// decodeEntry validates a raw entry file against the expected key and
+// returns the payload, or false for any malformed, truncated, or mismatched
+// content.
+func decodeEntry(raw []byte, key string) ([]byte, bool) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	fields := strings.Split(string(raw[:nl]), " ")
+	if len(fields) != 4 || fields[0] != diskMagic {
+		return nil, false
+	}
+	storedKey, err := url.QueryUnescape(fields[3])
+	if err != nil || storedKey != key {
+		return nil, false
+	}
+	n, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, false
+	}
+	payload := raw[nl+1:]
+	if len(payload) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[1] {
+		return nil, false
+	}
+	return payload, true
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("missing"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	payload := []byte(`{"answer":42}`)
+	if err := d.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("k1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get(k1) = %q, %v; want %q, true", got, ok, payload)
+	}
+	st := d.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 entry / 1 hit / 1 miss", st)
+	}
+}
+
+func TestDiskCacheSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("persist", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d2.Get("persist")
+	if !ok || string(got) != "payload" {
+		t.Fatalf("reopened cache lost the entry: %q, %v", got, ok)
+	}
+	if st := d2.Stats(); st.Entries != 1 || st.Bytes == 0 {
+		t.Errorf("reopen accounting = %+v, want 1 entry with nonzero bytes", st)
+	}
+}
+
+// TestDiskCacheCorruption damages committed entries in the three ways a
+// crash or bit rot can: truncation, payload flips, and header garbage. Every
+// damaged entry must read as a miss and be deleted, and a subsequent Put
+// must restore it.
+func TestDiskCacheCorruption(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		damage func(raw []byte) []byte
+	}{
+		{"truncated", func(raw []byte) []byte { return raw[:len(raw)-3] }},
+		{"payload-flip", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[len(out)-1] ^= 0xff
+			return out
+		}},
+		{"header-garbage", func(raw []byte) []byte { return append([]byte("not-a-header\n"), raw...) }},
+		{"emptied", func(raw []byte) []byte { return nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := OpenDiskCache(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put("victim", []byte("precious payload")); err != nil {
+				t.Fatal(err)
+			}
+			path := d.path("victim")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.damage(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.Get("victim"); ok {
+				t.Fatal("corrupt entry returned a hit")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt entry file was not deleted")
+			}
+			if st := d.Stats(); st.Corrupt != 1 {
+				t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			if err := d.Put("victim", []byte("rewritten")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := d.Get("victim"); !ok || string(got) != "rewritten" {
+				t.Fatalf("rewrite after corruption failed: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestDiskCachePartialWriteRecovery simulates a writer that died mid-Put:
+// the orphaned temp file must not be visible as an entry and must be cleaned
+// up on the next open.
+func TestDiskCachePartialWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("real", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(filepath.Dir(d.path("real")), "put-crashed.tmp")
+	if err := os.WriteFile(orphan, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("reopen did not remove the orphaned temp file")
+	}
+	if st := d2.Stats(); st.Entries != 1 {
+		t.Errorf("temp file counted as an entry: %+v", st)
+	}
+}
+
+// TestDiskCacheConcurrent hammers one cache with overlapping readers and
+// writers across a small key space; meaningful under -race. Readers must
+// only ever observe complete payloads for their key.
+func TestDiskCacheConcurrent(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 8
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("k%d", i%keys)
+				if err := d.Put(k, []byte("value-for-"+k)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("k%d", i%keys)
+				if v, ok := d.Get(k); ok && string(v) != "value-for-"+k {
+					t.Errorf("Get(%s) observed foreign or torn payload %q", k, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDiskCacheEviction fills a bounded cache past its byte budget and
+// verifies the least recently read entries go first while fresh and
+// recently-read ones survive.
+func TestDiskCacheEviction(t *testing.T) {
+	// Each entry: ~100 payload bytes + ~110 header bytes. Budget of 1100
+	// holds about five entries.
+	d, err := OpenDiskCache(t.TempDir(), 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 4; i++ {
+		if err := d.Put(fmt.Sprintf("old%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the LRU order is unambiguous on coarse
+		// filesystem clocks.
+		past := time.Now().Add(time.Duration(i-60) * time.Second)
+		os.Chtimes(d.path(fmt.Sprintf("old%d", i)), past, past)
+	}
+	// Touch old3 (most recent of the old batch) via a read.
+	if _, ok := d.Get("old3"); !ok {
+		t.Fatal("old3 vanished before eviction")
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Put(fmt.Sprintf("new%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions despite exceeding the byte budget: %+v", st)
+	}
+	if st.Bytes > 1100 {
+		t.Errorf("cache still over budget after eviction: %+v", st)
+	}
+	if _, ok := d.Get("old0"); ok {
+		t.Error("least recently used entry old0 survived eviction")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Get(fmt.Sprintf("new%d", i)); !ok {
+			t.Errorf("freshly written new%d was evicted", i)
+		}
+	}
+}
+
+func TestDiskCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenDiskCache("", 0); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("OpenDiskCache(\"\") = %v, want empty-dir error", err)
+	}
+}

@@ -1,9 +1,12 @@
-// Package engine is the concurrency substrate shared by the experiment
-// harness and the CLIs: a bounded, context-cancellable worker pool with
-// first-error propagation (ForEach, Map) and a keyed single-flight
-// compilation cache (Cache). Results are always assembled by input index,
-// never by arrival order, so parallel runs produce byte-identical output to
-// sequential ones.
+// Package engine is the concurrency and caching substrate shared by the
+// experiment harness, the CLIs, and the zac-serve HTTP service: a bounded,
+// context-cancellable worker pool with first-error propagation (ForEach,
+// Map) and a keyed single-flight compilation cache (Tiered) pairing an LRU
+// in-memory front with an optional content-addressed, checksummed disk
+// back tier (DiskCache) so results survive restarts and are shared across
+// processes. Results are always assembled by input index, never by arrival
+// order, so parallel runs produce byte-identical output to sequential
+// ones.
 package engine
 
 import (

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -129,89 +128,14 @@ func TestWorkersNormalization(t *testing.T) {
 	}
 }
 
-func TestCacheSingleFlight(t *testing.T) {
-	c := NewCache()
-	var computes atomic.Int32
-	var wg sync.WaitGroup
-	start := make(chan struct{})
-	for i := 0; i < 16; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			<-start
-			v, err := Get(c, "k", func() (int, error) {
-				computes.Add(1)
-				time.Sleep(5 * time.Millisecond)
-				return 42, nil
-			})
-			if err != nil || v != 42 {
-				t.Errorf("Get = %v, %v", v, err)
-			}
-		}()
-	}
-	close(start)
-	wg.Wait()
-	if n := computes.Load(); n != 1 {
-		t.Fatalf("compute ran %d times, want 1", n)
-	}
-	st := c.Stats()
-	if st.Misses != 1 || st.Hits != 15 || st.Entries != 1 {
-		t.Fatalf("stats = %+v", st)
-	}
-}
-
-func TestCacheDistinctKeys(t *testing.T) {
-	c := NewCache()
-	for i := 0; i < 3; i++ {
-		key := fmt.Sprintf("k%d", i)
-		v, err := Get(c, key, func() (string, error) { return key + "!", nil })
-		if err != nil || v != key+"!" {
-			t.Fatalf("Get(%s) = %v, %v", key, v, err)
-		}
-	}
-	if st := c.Stats(); st.Entries != 3 || st.Misses != 3 || st.Hits != 0 {
-		t.Fatalf("stats = %+v", st)
-	}
-}
-
-func TestCacheCachesErrors(t *testing.T) {
-	c := NewCache()
-	var computes int
-	fail := func() (int, error) { computes++; return 0, errors.New("nope") }
-	if _, err := Get(c, "bad", fail); err == nil {
-		t.Fatal("want error")
-	}
-	if _, err := Get(c, "bad", fail); err == nil {
-		t.Fatal("want cached error")
-	}
-	if computes != 1 {
-		t.Fatalf("errored compute ran %d times, want 1", computes)
-	}
-}
-
-func TestCacheReset(t *testing.T) {
-	c := NewCache()
-	var computes int
-	get := func() (int, error) { computes++; return 1, nil }
-	Get(c, "k", get)
-	c.Reset()
-	Get(c, "k", get)
-	if computes != 2 {
-		t.Fatalf("reset did not evict: %d computes", computes)
-	}
-	if st := c.Stats(); st.Hits != 0 || st.Misses != 1 || st.Entries != 1 {
-		t.Fatalf("stats after reset = %+v", st)
-	}
-}
-
 // TestPoolCacheRace drives many workers through overlapping cache keys; its
 // value is under `go test -race`, where any unsynchronized access in the
 // pool or cache trips the detector.
 func TestPoolCacheRace(t *testing.T) {
-	c := NewCache()
+	c := NewTiered(0)
 	err := ForEach(context.Background(), 16, 400, func(i int) error {
 		key := fmt.Sprintf("k%d", i%13)
-		v, err := Get(c, key, func() (int, error) { return i % 13, nil })
+		v, err := GetTiered(c, key, nil, func() (int, error) { return i % 13, nil })
 		if err != nil {
 			return err
 		}
@@ -223,7 +147,7 @@ func TestPoolCacheRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := c.Stats(); st.Misses != 13 || st.Hits != 400-13 {
+	if st := c.Stats(); st.Misses != 13 || st.Hits() != 400-13 {
 		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Codec serializes cached values for the disk tier. Entries looked up with a
+// nil *Codec stay memory-only: they deduplicate and memoize within the
+// process but are never persisted (the right choice for values holding deep
+// pointer graphs, like placement plans).
+type Codec struct {
+	// Encode turns a computed value into a persistable payload.
+	Encode func(v any) ([]byte, error)
+	// Decode reconstructs a value from a persisted payload.
+	Decode func(data []byte) (any, error)
+}
+
+// JSONCodec returns the Codec that round-trips T through encoding/json —
+// sufficient for plain-data results (fidelity breakdowns, reports, compile
+// summaries).
+func JSONCodec[T any]() *Codec {
+	return &Codec{
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(data []byte) (any, error) {
+			var v T
+			if err := json.Unmarshal(data, &v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+}
+
+// Tiered is the compilation cache hierarchy: a single-flight layer (callers
+// computing the same key concurrently share one computation), an LRU
+// in-memory front, and an optional content-addressed disk back tier so
+// results survive restarts and are shared across processes. Lookup order is
+// memory → in-flight → disk → compute; computed values are written through
+// to both tiers. Errors are memoized in memory only (compilation is
+// deterministic, so a failure recomputes to the same failure) and never
+// persisted.
+type Tiered struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+	mem      *LRU
+	disk     atomic.Pointer[DiskCache]
+
+	memHits  atomic.Uint64
+	diskHits atomic.Uint64
+	misses   atomic.Uint64
+}
+
+// flight is one in-progress computation; waiters block on ready.
+type flight struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// memEntry is a completed result resident in the LRU front.
+type memEntry struct {
+	val any
+	err error
+}
+
+// NewTiered returns a memory-only tiered cache whose LRU front holds at most
+// memEntries values (≤ 0 for unbounded). Attach a disk tier with SetDisk.
+func NewTiered(memEntries int) *Tiered {
+	return &Tiered{inflight: map[string]*flight{}, mem: NewLRU(memEntries)}
+}
+
+// SetDisk attaches (or, with nil, detaches) the persistent tier. Safe to
+// call concurrently with lookups; in-flight computations commit to the tier
+// visible when they finish.
+func (t *Tiered) SetDisk(d *DiskCache) { t.disk.Store(d) }
+
+// Disk returns the attached persistent tier, or nil.
+func (t *Tiered) Disk() *DiskCache { return t.disk.Load() }
+
+// Do returns the cached value for key, computing it with compute on the
+// first call. Calls that arrive while a computation is in flight block and
+// share its result, counting as memory hits; values restored from the disk
+// tier count as disk hits.
+func (t *Tiered) Do(key string, codec *Codec, compute func() (any, error)) (any, error) {
+	t.mu.Lock()
+	if v, ok := t.mem.Get(key); ok {
+		t.mu.Unlock()
+		t.memHits.Add(1)
+		e := v.(memEntry)
+		return e.val, e.err
+	}
+	if f, ok := t.inflight[key]; ok {
+		t.mu.Unlock()
+		t.memHits.Add(1)
+		<-f.ready
+		return f.val, f.err
+	}
+	f := &flight{ready: make(chan struct{})}
+	t.inflight[key] = f
+	t.mu.Unlock()
+
+	disk := t.Disk()
+	if disk != nil && codec != nil {
+		if data, ok := disk.Get(key); ok {
+			if v, err := codec.Decode(data); err == nil {
+				t.diskHits.Add(1)
+				t.finish(key, f, v, nil)
+				return v, nil
+			}
+			// Decodable-envelope but undecodable payload: a codec or schema
+			// change. Drop the entry and fall through to a recompute.
+			disk.Remove(key)
+		}
+	}
+
+	t.misses.Add(1)
+	v, err := compute()
+	if err == nil && disk != nil && codec != nil {
+		if data, encErr := codec.Encode(v); encErr == nil {
+			disk.Put(key, data) // best effort; a failed write only costs a future recompute
+		}
+	}
+	t.finish(key, f, v, err)
+	return v, err
+}
+
+// finish publishes a completed computation to the LRU front and releases
+// the single-flight waiters. Cancellation errors are delivered to waiters
+// but not memoized — they say nothing about the key, and caching one would
+// poison it for every future caller.
+func (t *Tiered) finish(key string, f *flight, v any, err error) {
+	f.val, f.err = v, err
+	t.mu.Lock()
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.mem.Put(key, memEntry{val: v, err: err})
+	}
+	delete(t.inflight, key)
+	t.mu.Unlock()
+	close(f.ready)
+}
+
+// Reset drops every in-memory entry and zeroes the lookup counters. The disk
+// tier is left intact — after a Reset, previously computed keys come back as
+// disk hits, which is exactly the restart scenario Reset simulates in tests.
+func (t *Tiered) Reset() {
+	t.mu.Lock()
+	t.mem.Clear()
+	t.mu.Unlock()
+	t.memHits.Store(0)
+	t.diskHits.Store(0)
+	t.misses.Store(0)
+}
+
+// TieredStats reports the hierarchy's effectiveness counters.
+type TieredStats struct {
+	MemHits    uint64
+	DiskHits   uint64
+	Misses     uint64
+	MemEntries int
+	Disk       DiskStats // zero when no disk tier is attached
+}
+
+// Hits returns memory plus disk hits.
+func (s TieredStats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// Lookups returns the total number of Do calls observed.
+func (s TieredStats) Lookups() uint64 { return s.MemHits + s.DiskHits + s.Misses }
+
+// HitRate returns hits over lookups in [0, 1], or 0 before any lookup.
+func (s TieredStats) HitRate() float64 {
+	if s.Lookups() == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(s.Lookups())
+}
+
+// Stats returns the current counters.
+func (t *Tiered) Stats() TieredStats {
+	t.mu.Lock()
+	entries := t.mem.Len()
+	t.mu.Unlock()
+	st := TieredStats{
+		MemHits: t.memHits.Load(), DiskHits: t.diskHits.Load(),
+		Misses: t.misses.Load(), MemEntries: entries,
+	}
+	if d := t.Disk(); d != nil {
+		st.Disk = d.Stats()
+	}
+	return st
+}
+
+// GetTiered is the typed wrapper over Do.
+func GetTiered[T any](t *Tiered, key string, codec *Codec, compute func() (T, error)) (T, error) {
+	v, err := t.Do(key, codec, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

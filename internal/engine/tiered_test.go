@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func newTieredWithDisk(t *testing.T) *Tiered {
+	t.Helper()
+	c := NewTiered(0)
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDisk(d)
+	return c
+}
+
+func TestTieredMemThenDiskHits(t *testing.T) {
+	c := newTieredWithDisk(t)
+	codec := JSONCodec[int]()
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+
+	if v, _ := GetTiered(c, "k", codec, compute); v != 42 {
+		t.Fatalf("cold lookup = %d", v)
+	}
+	if v, _ := GetTiered(c, "k", codec, compute); v != 42 {
+		t.Fatalf("warm lookup = %d", v)
+	}
+	st := c.Stats()
+	if calls != 1 || st.Misses != 1 || st.MemHits != 1 || st.DiskHits != 0 {
+		t.Fatalf("calls=%d stats=%+v; want 1 compute, 1 miss, 1 mem hit", calls, st)
+	}
+
+	// Simulate a restart: memory gone, disk intact.
+	c.Reset()
+	if v, _ := GetTiered(c, "k", codec, compute); v != 42 {
+		t.Fatalf("post-restart lookup = %d", v)
+	}
+	st = c.Stats()
+	if calls != 1 || st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("calls=%d stats=%+v; want disk hit without recompute", calls, st)
+	}
+	if st.HitRate() != 1 {
+		t.Errorf("post-restart hit rate = %v, want 1", st.HitRate())
+	}
+}
+
+func TestTieredNilCodecStaysMemoryOnly(t *testing.T) {
+	c := newTieredWithDisk(t)
+	calls := 0
+	compute := func() (string, error) { calls++; return "v", nil }
+	GetTiered(c, "mem-only", nil, compute)
+	c.Reset()
+	GetTiered(c, "mem-only", nil, compute)
+	if calls != 2 {
+		t.Fatalf("nil-codec entry persisted across reset: %d calls", calls)
+	}
+	if st := c.Stats().Disk; st.Entries != 0 {
+		t.Fatalf("nil-codec entry reached disk: %+v", st)
+	}
+}
+
+func TestTieredErrorsNotPersisted(t *testing.T) {
+	c := newTieredWithDisk(t)
+	codec := JSONCodec[int]()
+	boom := errors.New("boom")
+	calls := 0
+	compute := func() (int, error) { calls++; return 0, boom }
+
+	if _, err := GetTiered(c, "bad", codec, compute); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Memoized within the process…
+	if _, err := GetTiered(c, "bad", codec, compute); !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("error not memoized: err=%v calls=%d", err, calls)
+	}
+	// …but recomputed after a restart.
+	c.Reset()
+	GetTiered(c, "bad", codec, compute)
+	if calls != 2 {
+		t.Fatalf("error was persisted to disk: calls=%d", calls)
+	}
+}
+
+func TestTieredUndecodablePayloadRecomputes(t *testing.T) {
+	c := newTieredWithDisk(t)
+	// Persist a payload that is valid on disk but not valid JSON for int.
+	c.Disk().Put("k", []byte("not json"))
+	v, err := GetTiered(c, "k", JSONCodec[int](), func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("lookup over bad payload = %d, %v", v, err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats = %+v; want recompute", st)
+	}
+	// The bad entry must have been replaced by the recomputed value.
+	c.Reset()
+	v, _ = GetTiered(c, "k", JSONCodec[int](), func() (int, error) { return 0, errors.New("must not recompute") })
+	if v != 7 || c.Stats().DiskHits != 1 {
+		t.Fatalf("repaired entry not served from disk: v=%d stats=%+v", v, c.Stats())
+	}
+}
+
+// TestTieredSingleFlight launches many goroutines on one cold key; exactly
+// one compute must run and everyone shares its result.
+func TestTieredSingleFlight(t *testing.T) {
+	c := NewTiered(0)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = GetTiered(c, "k", nil, func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 99, nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("goroutine %d got %d", i, v)
+		}
+	}
+}
+
+// TestTieredConcurrentMixedKeys exercises the full hierarchy under -race.
+func TestTieredConcurrentMixedKeys(t *testing.T) {
+	c := newTieredWithDisk(t)
+	codec := JSONCodec[string]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k := fmt.Sprintf("k%d", i%5)
+				v, err := GetTiered(c, k, codec, func() (string, error) { return "val-" + k, nil })
+				if err != nil || v != "val-"+k {
+					t.Errorf("Get(%s) = %q, %v", k, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 5 {
+		t.Errorf("misses = %d, want 5 (one per key)", st.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := NewLRU(2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Get("a") // a is now most recent
+	l.Put("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Error("least recently used entry b survived")
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if l.Len() != 2 {
+		t.Errorf("len = %d, want 2", l.Len())
+	}
+}
+
+// TestTieredLRUFrontBounded verifies the memory front respects its capacity
+// while the disk tier retains everything.
+func TestTieredLRUFrontBounded(t *testing.T) {
+	c := NewTiered(3)
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDisk(d)
+	codec := JSONCodec[int]()
+	for i := 0; i < 10; i++ {
+		GetTiered(c, fmt.Sprintf("k%d", i), codec, func() (int, error) { return i, nil })
+	}
+	st := c.Stats()
+	if st.MemEntries > 3 {
+		t.Errorf("LRU front holds %d entries, capacity 3", st.MemEntries)
+	}
+	if st.Disk.Entries != 10 {
+		t.Errorf("disk tier holds %d entries, want 10", st.Disk.Entries)
+	}
+	// An evicted-from-memory key must come back as a disk hit.
+	v, _ := GetTiered(c, "k0", codec, func() (int, error) { return -1, errors.New("recompute") })
+	if v != 0 || c.Stats().DiskHits != 1 {
+		t.Errorf("k0 not restored from disk: v=%d stats=%+v", v, c.Stats())
+	}
+}

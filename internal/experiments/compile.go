@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -11,7 +12,9 @@ import (
 	"zac/internal/bench"
 	"zac/internal/circuit"
 	"zac/internal/core"
+	"zac/internal/engine"
 	"zac/internal/fidelity"
+	"zac/internal/place"
 	"zac/internal/resynth"
 	"zac/internal/sc"
 )
@@ -26,13 +29,38 @@ type naResult struct {
 	compile   time.Duration
 }
 
+// naResultWire is naResult's exported mirror for the disk tier.
+type naResultWire struct {
+	Breakdown fidelity.Breakdown `json:"breakdown"`
+	Duration  float64            `json:"duration_us"`
+	Compile   time.Duration      `json:"compile_ns"`
+}
+
+// naCodec persists naResult values in the disk tier.
+var naCodec = &engine.Codec{
+	Encode: func(v any) ([]byte, error) {
+		r, ok := v.(naResult)
+		if !ok {
+			return nil, fmt.Errorf("experiments: naCodec cannot encode %T", v)
+		}
+		return json.Marshal(naResultWire{r.breakdown, r.duration, r.compile})
+	},
+	Decode: func(data []byte) (any, error) {
+		var w naResultWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			return nil, err
+		}
+		return naResult{w.Breakdown, w.Duration, w.Compile}, nil
+	},
+}
+
 // cachedStaged preprocesses a benchmark (resynthesis to {CZ,U3} + ASAP
 // staging) and splits oversized Rydberg stages to the architecture's site
 // capacity. The cached instance is shared by every compiler; compilers only
 // read it.
 func cachedStaged(cfg Config, b bench.Benchmark, split *arch.Architecture) (*circuit.Staged, error) {
 	key := "staged|" + b.Name + "|split=" + split.Fingerprint()
-	return cached(cfg, key, func() (*circuit.Staged, error) {
+	return cachedDisk(cfg, key, engine.JSONCodec[*circuit.Staged](), func() (*circuit.Staged, error) {
 		staged, err := resynth.Preprocess(b.Build())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -45,7 +73,7 @@ func cachedStaged(cfg Config, b bench.Benchmark, split *arch.Architecture) (*cir
 // shape of the superconducting router.
 func cachedFlat(cfg Config, b bench.Benchmark) (*circuit.Staged, error) {
 	key := "flat|" + b.Name
-	return cached(cfg, key, func() (*circuit.Staged, error) {
+	return cachedDisk(cfg, key, engine.JSONCodec[*circuit.Staged](), func() (*circuit.Staged, error) {
 		staged, err := resynth.Preprocess(b.Build())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -56,10 +84,12 @@ func cachedFlat(cfg Config, b bench.Benchmark) (*circuit.Staged, error) {
 
 // cachedZAC compiles a benchmark with the ZAC compiler under the given
 // option preset. optKey must uniquely identify opts — the ablation setting
-// name, a sweep configuration label, or "advReuse".
+// name, a sweep configuration label, or "advReuse". Results persist to the
+// disk tier as core.Snapshot, so an entry restored after a restart has nil
+// Plan and Staged; consumers needing the plan use cachedPlan.
 func cachedZAC(cfg Config, b bench.Benchmark, a *arch.Architecture, optKey string, opts core.Options) (*core.Result, error) {
 	key := "zac|" + b.Name + "|arch=" + a.Fingerprint() + "|opt=" + optKey
-	return cached(cfg, key, func() (*core.Result, error) {
+	return cachedDisk(cfg, key, core.ResultCodec(), func() (*core.Result, error) {
 		staged, err := cachedStaged(cfg, b, a)
 		if err != nil {
 			return nil, err
@@ -77,8 +107,8 @@ func cachedZAC(cfg Config, b bench.Benchmark, a *arch.Architecture, optKey strin
 // architecture.
 func cachedZACNativeCCZ(cfg Config, b bench.Benchmark, a *arch.Architecture) (*core.Result, error) {
 	key := "zacccz|" + b.Name + "|arch=" + a.Fingerprint()
-	return cached(cfg, key, func() (*core.Result, error) {
-		staged, err := cached(cfg, "stagedccz|"+b.Name+"|split="+a.Fingerprint(), func() (*circuit.Staged, error) {
+	return cachedDisk(cfg, key, core.ResultCodec(), func() (*core.Result, error) {
+		staged, err := cachedDisk(cfg, "stagedccz|"+b.Name+"|split="+a.Fingerprint(), engine.JSONCodec[*circuit.Staged](), func() (*circuit.Staged, error) {
 			native, err := resynth.PreprocessNativeCCZ(b.Build())
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -96,11 +126,30 @@ func cachedZACNativeCCZ(cfg Config, b bench.Benchmark, a *arch.Architecture) (*c
 	})
 }
 
+// cachedPlan rebuilds (and memoizes, memory-only) the full-ZAC placement
+// plan for a benchmark. It exists for consumers of cachedZAC results that
+// need the Plan after a disk-tier restore, where only the core.Snapshot
+// subset survives.
+func cachedPlan(cfg Config, b bench.Benchmark, a *arch.Architecture) (*place.Plan, error) {
+	key := "zacplan|" + b.Name + "|arch=" + a.Fingerprint()
+	return cached(cfg, key, func() (*place.Plan, error) {
+		staged, err := cachedStaged(cfg, b, a)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := place.BuildPlan(a, staged, core.Default().Place)
+		if err != nil {
+			return nil, fmt.Errorf("%s/zac-plan: %w", b.Name, err)
+		}
+		return plan, nil
+	})
+}
+
 // cachedNALAC compiles the staged circuit (split to the zoned architecture)
 // with the NALAC baseline.
 func cachedNALAC(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
 	key := "nalac|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
-	return cached(cfg, key, func() (naResult, error) {
+	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
 		staged, err := cachedStaged(cfg, b, split)
 		if err != nil {
 			return naResult{}, err
@@ -117,7 +166,7 @@ func cachedNALAC(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (na
 // cachedEnola compiles the staged circuit with the Enola baseline.
 func cachedEnola(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
 	key := "enola|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
-	return cached(cfg, key, func() (naResult, error) {
+	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
 		staged, err := cachedStaged(cfg, b, split)
 		if err != nil {
 			return naResult{}, err
@@ -134,7 +183,7 @@ func cachedEnola(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (na
 // cachedAtomique compiles the staged circuit with the Atomique baseline.
 func cachedAtomique(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
 	key := "atomique|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
-	return cached(cfg, key, func() (naResult, error) {
+	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
 		staged, err := cachedStaged(cfg, b, split)
 		if err != nil {
 			return naResult{}, err
@@ -152,7 +201,7 @@ func cachedAtomique(cfg Config, b bench.Benchmark, split, a *arch.Architecture) 
 // platforms (ColSCHeron or ColSCGrid).
 func cachedSC(cfg Config, b bench.Benchmark, col string) (naResult, error) {
 	key := "sc|" + b.Name + "|" + col
-	return cached(cfg, key, func() (naResult, error) {
+	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
 		staged, err := cachedFlat(cfg, b)
 		if err != nil {
 			return naResult{}, err

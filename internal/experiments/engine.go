@@ -39,24 +39,53 @@ func (c Config) progressf(format string, args ...any) {
 // compileCache memoizes every compilation the harness performs, keyed on
 // circuit name + compiler + architecture fingerprint (+ option preset), so
 // circuits shared across experiments — e.g. the representative subset reused
-// by Fig8/Fig9/Fig10/Table2 — compile once per process.
-var compileCache = engine.NewCache()
+// by Fig8/Fig9/Fig10/Table2 — compile once per process. The LRU front is
+// sized far above the full suite's entry count; attaching a disk tier with
+// SetCacheDir makes final results survive restarts as well.
+var compileCache = engine.NewTiered(8192)
 
-// cached routes a compilation through the process-wide cache unless the
-// config opted out.
+// cached routes a memory-only computation through the process-wide cache
+// unless the config opted out. Entries looked up this way are never written
+// to the disk tier — the right mode for values that hold deep pointer
+// graphs into the architecture (placement plans, ftqc results).
 func cached[T any](cfg Config, key string, compute func() (T, error)) (T, error) {
+	return cachedDisk(cfg, key, nil, compute)
+}
+
+// cachedDisk routes a computation through the full cache hierarchy: LRU
+// memory front, then the disk tier (when SetCacheDir attached one and codec
+// is non-nil), then compute with write-through to both tiers.
+func cachedDisk[T any](cfg Config, key string, codec *engine.Codec, compute func() (T, error)) (T, error) {
 	if cfg.NoCache {
 		return compute()
 	}
-	return engine.Get(compileCache, key, compute)
+	return engine.GetTiered(compileCache, key, codec, compute)
 }
 
-// ResetCache drops every cached compilation. Benchmarks call it to measure
-// cold-cache behavior; servers can call it to bound memory.
+// SetCacheDir attaches a persistent disk tier rooted at dir to the
+// compilation cache (maxBytes 0 = unbounded), or detaches it when dir is
+// empty. Compilation results then survive process restarts and are shared
+// with other processes pointed at the same directory.
+func SetCacheDir(dir string, maxBytes int64) error {
+	if dir == "" {
+		compileCache.SetDisk(nil)
+		return nil
+	}
+	d, err := engine.OpenDiskCache(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	compileCache.SetDisk(d)
+	return nil
+}
+
+// ResetCache drops every in-memory cached compilation (the disk tier, if
+// attached, is untouched). Benchmarks call it to measure cold-cache
+// behavior; servers can call it to bound memory.
 func ResetCache() { compileCache.Reset() }
 
-// CacheStats reports the compilation cache's hit/miss counters.
-func CacheStats() engine.CacheStats { return compileCache.Stats() }
+// CacheStats reports the compilation cache's per-tier hit/miss counters.
+func CacheStats() engine.TieredStats { return compileCache.Stats() }
 
 // mapRows is the harness's fan-out primitive: it runs fn(i) for every index
 // through the bounded worker pool and returns the results in input order.

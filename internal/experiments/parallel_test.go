@@ -87,7 +87,7 @@ func TestCacheHitAcrossExperiments(t *testing.T) {
 	if after10.Misses != after9.Misses {
 		t.Errorf("fig10 recompiled after fig9: misses %d → %d", after9.Misses, after10.Misses)
 	}
-	if hits := after10.Hits - after9.Hits; hits < uint64(len(fast)*len(naCols)) {
+	if hits := after10.Hits() - after9.Hits(); hits < uint64(len(fast)*len(naCols)) {
 		t.Errorf("fig10 should hit the cache for every (circuit, compiler) cell: got %d hits", hits)
 	}
 }

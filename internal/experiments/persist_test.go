@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// withTempCacheDir attaches a throwaway disk tier to the process-wide cache
+// and guarantees detachment plus a memory reset afterwards, so the other
+// tests in this package never observe the temporary tier.
+func withTempCacheDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	ResetCache()
+	if err := SetCacheDir(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		SetCacheDir("", 0)
+		ResetCache()
+	})
+	return dir
+}
+
+// TestDiskTierSurvivesRestart is the PR's acceptance scenario in miniature:
+// a cold run populates the disk tier, a simulated restart (memory reset,
+// same directory) replays the same experiments, and the replay must be
+// served almost entirely from disk while producing byte-identical tables.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	withTempCacheDir(t)
+	ctx := context.Background()
+	cfg := Config{Parallel: 2}
+	// fig13 exercises the nil-Plan restore path; the rest approximate the
+	// lookup mix of a full suite run.
+	ids := []string{"fig8", "fig9", "fig10", "table2", "zair", "fig13"}
+
+	run := func() map[string]string {
+		out := map[string]string{}
+		for _, id := range ids {
+			tabs, err := RunWith(ctx, cfg, id, fast)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out[id] = render(t, tabs)
+		}
+		return out
+	}
+
+	cold := run()
+	st := CacheStats()
+	if st.Misses == 0 || st.Disk.Entries == 0 {
+		t.Fatalf("cold run did not populate the disk tier: %+v", st)
+	}
+
+	// Restart: in-memory tier gone, disk tier still attached.
+	ResetCache()
+	warm := run()
+	for _, id := range ids {
+		if cold[id] != warm[id] {
+			t.Errorf("%s: disk-restored tables differ from cold run\n--- cold ---\n%s\n--- warm ---\n%s",
+				id, cold[id], warm[id])
+		}
+	}
+	st = CacheStats()
+	if st.DiskHits == 0 {
+		t.Fatalf("warm run never hit the disk tier: %+v", st)
+	}
+	if rate := st.HitRate(); rate < 0.9 {
+		t.Errorf("warm-run hit rate = %.2f, want > 0.9 (%+v)", rate, st)
+	}
+}
+
+// TestNoCacheBypassesDiskTier ensures Config.NoCache skips both tiers: a
+// NoCache run after a populated cold run must not touch the counters.
+func TestNoCacheBypassesDiskTier(t *testing.T) {
+	withTempCacheDir(t)
+	ctx := context.Background()
+	if _, err := RunWith(ctx, Config{Parallel: 2}, "fig10", fast); err != nil {
+		t.Fatal(err)
+	}
+	before := CacheStats()
+	if _, err := RunWith(ctx, Config{Parallel: 2, NoCache: true}, "fig10", fast); err != nil {
+		t.Fatal(err)
+	}
+	after := CacheStats()
+	if after.Lookups() != before.Lookups() {
+		t.Errorf("NoCache run performed cache lookups: %d → %d", before.Lookups(), after.Lookups())
+	}
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+
+	"zac/internal/fidelity"
+)
+
+// CompileRequest describes one compilation: a circuit (either a built-in
+// benchmark name or inline OpenQASM 2.0 source), an optional architecture,
+// and optional compiler knobs. Exactly one of Circuit and QASM must be set.
+type CompileRequest struct {
+	// Circuit names a built-in benchmark (e.g. "ghz_n23").
+	Circuit string `json:"circuit,omitempty"`
+	// QASM is inline OpenQASM 2.0 source.
+	QASM string `json:"qasm,omitempty"`
+	// Name labels a QASM submission; it becomes the program name in the
+	// emitted ZAIR (the CLI uses the input path here). Ignored for built-in
+	// benchmarks, which carry their own name.
+	Name string `json:"name,omitempty"`
+	// Arch is an architecture spec in the artifact JSON format; empty
+	// selects the paper's reference architecture.
+	Arch json.RawMessage `json:"arch,omitempty"`
+	// Setting is a compiler ablation preset (Vanilla | dynPlace |
+	// dynPlace+reuse | SA+dynPlace+reuse); empty selects the full ZAC
+	// configuration.
+	Setting string `json:"setting,omitempty"`
+	// AODs overrides the architecture's AOD count when positive.
+	AODs int `json:"aods,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/compile: either a bare
+// CompileRequest (single compilation) or a "requests" array, optionally
+// executed asynchronously as a job.
+type BatchRequest struct {
+	CompileRequest
+	// Requests, when non-empty, makes this a batch compilation; the
+	// embedded single-request fields are then ignored.
+	Requests []CompileRequest `json:"requests,omitempty"`
+	// Async makes POST /v1/compile return a job id immediately; poll
+	// GET /v1/jobs/{id} for results.
+	Async bool `json:"async,omitempty"`
+}
+
+// CompileResponse is the JSON result of one compilation.
+type CompileResponse struct {
+	// Name is the compiled program's name.
+	Name string `json:"name"`
+	// NumQubits is the circuit width.
+	NumQubits int `json:"num_qubits"`
+	// Setting echoes the compiler preset that was applied.
+	Setting string `json:"setting"`
+	// Fidelity is the paper's per-term fidelity decomposition.
+	Fidelity fidelity.Breakdown `json:"fidelity"`
+	// DurationUS is the compiled circuit's duration in microseconds.
+	DurationUS float64 `json:"duration_us"`
+	// CompileMS is the wall-clock compile time in milliseconds, measured at
+	// the compilation that populated the cache entry.
+	CompileMS float64 `json:"compile_ms"`
+	// RydbergStages counts the program's Rydberg (entangling) stages.
+	RydbergStages int `json:"rydberg_stages"`
+	// RearrangeJobs counts the emitted atom-rearrangement jobs.
+	RearrangeJobs int `json:"rearrange_jobs"`
+	// ReusedGates counts gates served by qubit reuse.
+	ReusedGates int `json:"reused_gates"`
+	// Moves counts individual qubit movements.
+	Moves int `json:"moves"`
+	// Cached reports that this request did not compile anything itself:
+	// the result came from the cache (memory or disk) or was shared with a
+	// concurrent identical request already compiling it.
+	Cached bool `json:"cached"`
+	// ZAIR is the compiled program, byte-identical to the `zac -out` CLI
+	// encoding. Omitted when the request was made with ?zair=0.
+	ZAIR json.RawMessage `json:"zair,omitempty"`
+}
+
+// BatchItem is one entry of a batch response: a result or a per-item error.
+type BatchItem struct {
+	// Result is the successful compilation, nil on error.
+	Result *CompileResponse `json:"result,omitempty"`
+	// Error is the failure message, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a synchronous batch compilation.
+type BatchResponse struct {
+	// Results holds one item per request, in request order.
+	Results []BatchItem `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	// Error is the human-readable failure message.
+	Error string `json:"error"`
+}
+
+// JobStatus enumerates the lifecycle states of an async compilation job.
+type JobStatus string
+
+// The four job lifecycle states.
+const (
+	JobPending JobStatus = "pending"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobResponse is the body of GET /v1/jobs/{id} (and of the 202 returned for
+// async submissions).
+type JobResponse struct {
+	// ID is the job identifier to poll.
+	ID string `json:"id"`
+	// Status is the job's lifecycle state.
+	Status JobStatus `json:"status"`
+	// Total counts the job's compilation requests.
+	Total int `json:"total"`
+	// Completed counts finished (succeeded or failed) requests so far.
+	Completed int `json:"completed"`
+	// Results holds one item per request once the job is done.
+	Results []BatchItem `json:"results,omitempty"`
+}
+
+// MetricsResponse is the body of GET /metrics: a machine-readable snapshot
+// of service health.
+type MetricsResponse struct {
+	// RequestsTotal counts HTTP requests served since startup.
+	RequestsTotal uint64 `json:"requests_total"`
+	// CompilesTotal counts compilation lookups (cached or not).
+	CompilesTotal uint64 `json:"compiles_total"`
+	// InFlightCompiles is the number of compilations currently executing.
+	InFlightCompiles int64 `json:"inflight_compiles"`
+	// Cache reports the compilation cache hierarchy's counters.
+	Cache CacheMetrics `json:"cache"`
+	// Jobs counts async jobs by status.
+	Jobs map[JobStatus]int `json:"jobs"`
+	// Compilers reports per-compiler-setting latency aggregates.
+	Compilers map[string]LatencyMetrics `json:"compilers"`
+}
+
+// CacheMetrics is the cache section of MetricsResponse.
+type CacheMetrics struct {
+	// MemHits counts lookups served by the in-memory LRU front.
+	MemHits uint64 `json:"mem_hits"`
+	// DiskHits counts lookups restored from the disk tier.
+	DiskHits uint64 `json:"disk_hits"`
+	// Misses counts lookups that compiled from scratch.
+	Misses uint64 `json:"misses"`
+	// HitRate is (MemHits+DiskHits)/lookups in [0,1].
+	HitRate float64 `json:"hit_rate"`
+	// MemEntries is the LRU front's resident entry count.
+	MemEntries int `json:"mem_entries"`
+	// DiskEntries is the disk tier's entry count (0 without -cachedir).
+	DiskEntries int `json:"disk_entries"`
+	// DiskBytes is the disk tier's total size in bytes.
+	DiskBytes int64 `json:"disk_bytes"`
+}
+
+// LatencyMetrics aggregates wall-clock compile latency for one compiler
+// setting. Only fresh compilations count; cache hits are free.
+type LatencyMetrics struct {
+	// Count is the number of fresh compilations.
+	Count uint64 `json:"count"`
+	// TotalMS is the summed wall-clock latency in milliseconds.
+	TotalMS float64 `json:"total_ms"`
+	// AvgMS is TotalMS / Count.
+	AvgMS float64 `json:"avg_ms"`
+	// MaxMS is the worst single compilation in milliseconds.
+	MaxMS float64 `json:"max_ms"`
+}

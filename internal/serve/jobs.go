@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// job tracks one async batch compilation.
+type job struct {
+	id    string
+	total int
+
+	completed atomic.Int32
+
+	mu      sync.Mutex
+	status  JobStatus
+	results []BatchItem
+}
+
+// maxRetainedJobs bounds the job table: once exceeded, the oldest finished
+// jobs (and their result payloads) are dropped, so a long-lived service
+// does not accumulate every ZAIR program it ever compiled. Pollers of a
+// dropped job get a 404, the same as for a never-submitted id.
+const maxRetainedJobs = 256
+
+// newJob registers a pending job, evicting the oldest finished jobs when
+// the table is over its retention bound.
+func (s *Server) newJob(total int) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobSeq++
+	j := &job{id: fmt.Sprintf("job-%d", s.jobSeq), total: total, status: JobPending}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.jobOrder); {
+		old := s.jobs[s.jobOrder[i]]
+		if old == nil {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			continue
+		}
+		old.mu.Lock()
+		finished := old.status == JobDone || old.status == JobFailed
+		old.mu.Unlock()
+		if !finished {
+			i++ // never drop a job still in flight
+			continue
+		}
+		delete(s.jobs, s.jobOrder[i])
+		s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+	}
+	return j
+}
+
+// runJob executes a job's batch in the background, tracking per-item
+// completion for pollers. The job ends JobDone unless every item failed.
+func (s *Server) runJob(j *job, batch []CompileRequest, includeZAIR bool) {
+	j.mu.Lock()
+	j.status = JobRunning
+	j.mu.Unlock()
+
+	items := make([]BatchItem, len(batch))
+	var wg sync.WaitGroup
+	for i := range batch {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer j.completed.Add(1)
+			res, err := s.compileOne(batch[i], includeZAIR)
+			if err != nil {
+				items[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			items[i] = BatchItem{Result: res}
+		}(i)
+	}
+	wg.Wait()
+
+	failed := 0
+	for _, it := range items {
+		if it.Error != "" {
+			failed++
+		}
+	}
+	j.mu.Lock()
+	j.results = items
+	if failed == len(items) && len(items) > 0 {
+		j.status = JobFailed
+	} else {
+		j.status = JobDone
+	}
+	j.mu.Unlock()
+}
+
+// response snapshots the job for the API.
+func (j *job) response() JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobResponse{
+		ID:        j.id,
+		Status:    j.status,
+		Total:     j.total,
+		Completed: int(j.completed.Load()),
+		Results:   j.results,
+	}
+}

@@ -1,0 +1,29 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestJobRetention verifies the job table stays bounded: finished jobs past
+// the retention limit are evicted oldest-first, while the newest survive.
+func TestJobRetention(t *testing.T) {
+	s := New(Options{})
+	const extra = 50
+	for i := 0; i < maxRetainedJobs+extra; i++ {
+		j := s.newJob(0)
+		s.runJob(j, nil, false) // finishes immediately (empty batch → done)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) > maxRetainedJobs {
+		t.Fatalf("job table holds %d entries, bound is %d", len(s.jobs), maxRetainedJobs)
+	}
+	if _, ok := s.jobs["job-1"]; ok {
+		t.Error("oldest job survived past the retention bound")
+	}
+	newest := fmt.Sprintf("job-%d", maxRetainedJobs+extra)
+	if _, ok := s.jobs[newest]; !ok {
+		t.Errorf("newest job %s was evicted", newest)
+	}
+}

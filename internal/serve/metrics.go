@@ -1,0 +1,44 @@
+package serve
+
+import "net/http"
+
+// handleMetrics serves GET /metrics: a machine-readable service snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Metrics assembles the current MetricsResponse.
+func (s *Server) Metrics() MetricsResponse {
+	st := s.cache.Stats()
+	m := MetricsResponse{
+		RequestsTotal:    s.requests.Load(),
+		CompilesTotal:    s.compiles.Load(),
+		InFlightCompiles: s.inflight.Load(),
+		Cache: CacheMetrics{
+			MemHits:     st.MemHits,
+			DiskHits:    st.DiskHits,
+			Misses:      st.Misses,
+			HitRate:     st.HitRate(),
+			MemEntries:  st.MemEntries,
+			DiskEntries: st.Disk.Entries,
+			DiskBytes:   st.Disk.Bytes,
+		},
+		Jobs:      map[JobStatus]int{},
+		Compilers: map[string]LatencyMetrics{},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		m.Jobs[j.status]++
+		j.mu.Unlock()
+	}
+	for setting, agg := range s.latency {
+		lm := LatencyMetrics{Count: agg.count, TotalMS: agg.totalMS, MaxMS: agg.maxMS}
+		if agg.count > 0 {
+			lm.AvgMS = agg.totalMS / float64(agg.count)
+		}
+		m.Compilers[setting] = lm
+	}
+	return m
+}

@@ -1,0 +1,361 @@
+// Package serve implements the zac-serve HTTP API: a long-running
+// compilation service that accepts OpenQASM programs (or built-in benchmark
+// names) plus JSON architecture specs, compiles them through the ZAC
+// pipeline with bounded concurrency, and returns the ZAIR program plus the
+// paper's fidelity breakdown as JSON. Results flow through the engine's
+// tiered cache (LRU memory front, optional content-addressed disk back
+// tier), so identical requests are served from cache — across restarts when
+// a cache directory is attached — and the emitted ZAIR is byte-identical to
+// the `zac -out` CLI encoding.
+//
+// Endpoints:
+//
+//	POST /v1/compile     single or batch compilation (async via "async":true)
+//	GET  /v1/jobs/{id}   poll an async job
+//	GET  /healthz        liveness probe
+//	GET  /metrics        cache hit rates, in-flight compiles, per-compiler latency
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zac/internal/arch"
+	"zac/internal/bench"
+	"zac/internal/circuit"
+	"zac/internal/core"
+	"zac/internal/engine"
+	"zac/internal/qasm"
+)
+
+// Options configures a Server. The zero value is serviceable: all-CPU
+// compile concurrency, an unbounded in-memory cache, no disk tier.
+type Options struct {
+	// Parallel bounds the number of concurrently executing compilations
+	// (not HTTP requests); ≤ 0 selects runtime.NumCPU().
+	Parallel int
+	// MemEntries caps the cache's LRU memory front (≤ 0 = unbounded).
+	MemEntries int
+	// Disk, when non-nil, attaches a persistent cache tier shared with
+	// zac-bench and zairsim.
+	Disk *engine.DiskCache
+	// MaxBatch caps the requests accepted in one batch (default 64).
+	MaxBatch int
+	// MaxBodyBytes caps the request body size (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the zac-serve request handler: a tiered compilation cache, a
+// compile-concurrency semaphore, the async job table, and service counters.
+type Server struct {
+	opts  Options
+	cache *engine.Tiered
+	sem   chan struct{}
+
+	requests atomic.Uint64
+	compiles atomic.Uint64
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // submission order, for retention eviction
+	jobSeq   int
+	latency  map[string]*latencyAgg
+}
+
+// latencyAgg accumulates fresh-compilation wall-clock latency per setting.
+type latencyAgg struct {
+	count    uint64
+	totalMS  float64
+	maxMS    float64
+}
+
+// New returns a Server ready to have Handler mounted.
+func New(opts Options) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	cache := engine.NewTiered(opts.MemEntries)
+	if opts.Disk != nil {
+		cache.SetDisk(opts.Disk)
+	}
+	return &Server{
+		opts:    opts,
+		cache:   cache,
+		sem:     make(chan struct{}, engine.Workers(opts.Parallel)),
+		jobs:    map[string]*job{},
+		latency: map[string]*latencyAgg{},
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleCompile serves POST /v1/compile: a bare CompileRequest or a batch,
+// synchronous by default, async as a job with "async":true. Query parameter
+// zair=0 omits the ZAIR program from responses; format=zair (single
+// synchronous requests only) returns the bare ZAIR JSON, byte-identical to
+// `zac -out`.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	single := len(req.Requests) == 0
+	batch := req.Requests
+	if single {
+		batch = []CompileRequest{req.CompileRequest}
+	}
+	if len(batch) > s.opts.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the limit of %d", len(batch), s.opts.MaxBatch))
+		return
+	}
+	includeZAIR := r.URL.Query().Get("zair") != "0"
+	rawZAIR := r.URL.Query().Get("format") == "zair"
+	if rawZAIR && (!single || req.Async) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("format=zair requires a single synchronous request"))
+		return
+	}
+
+	if req.Async {
+		j := s.newJob(len(batch))
+		go s.runJob(j, batch, includeZAIR)
+		writeJSON(w, http.StatusAccepted, j.response())
+		return
+	}
+
+	results := s.compileBatch(batch, includeZAIR || rawZAIR)
+	if !single {
+		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+		return
+	}
+	item := results[0]
+	if item.Error != "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%s", item.Error))
+		return
+	}
+	if rawZAIR {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(item.Result.ZAIR)
+		return
+	}
+	writeJSON(w, http.StatusOK, item.Result)
+}
+
+// handleJob serves GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.response())
+}
+
+// compileBatch fans the batch out over the worker pool, one BatchItem per
+// request in request order. Errors stay per-item; the batch itself never
+// fails.
+func (s *Server) compileBatch(batch []CompileRequest, includeZAIR bool) []BatchItem {
+	items := make([]BatchItem, len(batch))
+	var wg sync.WaitGroup
+	for i := range batch {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.compileOne(batch[i], includeZAIR)
+			if err != nil {
+				items[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			items[i] = BatchItem{Result: res}
+		}(i)
+	}
+	wg.Wait()
+	return items
+}
+
+// compileOne resolves one request and routes it through the cache
+// hierarchy; only a cache miss occupies a slot of the compile semaphore.
+func (s *Server) compileOne(req CompileRequest, includeZAIR bool) (*CompileResponse, error) {
+	c, circKey, err := resolveCircuit(req)
+	if err != nil {
+		return nil, err
+	}
+	a, err := resolveArch(req)
+	if err != nil {
+		return nil, err
+	}
+	setting, err := resolveSetting(req.Setting)
+	if err != nil {
+		return nil, err
+	}
+
+	key := "serve|" + circKey + "|arch=" + a.Fingerprint() + "|opt=" + setting
+	computed := false
+	res, err := engine.GetTiered(s.cache, key, core.ResultCodec(), func() (*core.Result, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		computed = true
+		t0 := time.Now()
+		r, err := core.Compile(c, a, core.OptionsFor(setting))
+		if err == nil {
+			s.recordLatency(setting, time.Since(t0))
+		}
+		return r, err
+	})
+	s.compiles.Add(1)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &CompileResponse{
+		Name:          res.Program.Name,
+		NumQubits:     res.Program.NumQubits,
+		Setting:       setting,
+		Fidelity:      res.Breakdown,
+		DurationUS:    res.Duration,
+		CompileMS:     float64(res.CompileTime) / float64(time.Millisecond),
+		RydbergStages: res.NumRydbergStages,
+		RearrangeJobs: res.NumJobs,
+		ReusedGates:   res.ReusedGates,
+		Moves:         res.TotalMoves,
+		Cached:        !computed,
+	}
+	if includeZAIR {
+		// The exact encoding the zac CLI writes with -out, so service and
+		// CLI output are byte-identical for the same compilation.
+		raw, err := json.MarshalIndent(res.Program, "", " ")
+		if err != nil {
+			return nil, fmt.Errorf("encoding ZAIR: %w", err)
+		}
+		out.ZAIR = raw
+	}
+	return out, nil
+}
+
+// resolveCircuit loads the request's circuit and returns it with the
+// circuit component of the cache key (benchmark name, or content digest for
+// inline QASM).
+func resolveCircuit(req CompileRequest) (*circuit.Circuit, string, error) {
+	switch {
+	case req.Circuit != "" && req.QASM != "":
+		return nil, "", fmt.Errorf("set either \"circuit\" or \"qasm\", not both")
+	case req.Circuit != "":
+		b, err := bench.ByName(req.Circuit)
+		if err != nil {
+			return nil, "", err
+		}
+		return b.Build(), "circ=" + req.Circuit, nil
+	case req.QASM != "":
+		c, err := qasm.Parse(req.QASM)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing qasm: %w", err)
+		}
+		name := req.Name
+		if name == "" {
+			name = "qasm"
+		}
+		c.Name = name
+		return c, fmt.Sprintf("qasm=%x|name=%s", sha256.Sum256([]byte(req.QASM)), name), nil
+	default:
+		return nil, "", fmt.Errorf("set \"circuit\" (built-in benchmark) or \"qasm\" (inline source)")
+	}
+}
+
+// resolveArch decodes the request's architecture (default: the reference
+// architecture) and applies the AOD override.
+func resolveArch(req CompileRequest) (*arch.Architecture, error) {
+	a := arch.Reference()
+	if len(req.Arch) > 0 {
+		a = &arch.Architecture{}
+		if err := json.Unmarshal(req.Arch, a); err != nil {
+			return nil, fmt.Errorf("parsing arch: %w", err)
+		}
+	}
+	if req.AODs > 0 {
+		a = arch.WithAODs(a, req.AODs)
+	}
+	return a, nil
+}
+
+// resolveSetting validates the compiler preset (empty = full ZAC).
+func resolveSetting(setting string) (string, error) {
+	switch setting {
+	case "":
+		return core.SettingSADynPlaceReuse, nil
+	case core.SettingVanilla, core.SettingDynPlace, core.SettingDynPlaceReuse, core.SettingSADynPlaceReuse:
+		return setting, nil
+	default:
+		return "", fmt.Errorf("unknown setting %q (want Vanilla | dynPlace | dynPlace+reuse | SA+dynPlace+reuse)", setting)
+	}
+}
+
+// recordLatency folds one fresh compilation into the per-setting aggregate.
+func (s *Server) recordLatency(setting string, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg := s.latency[setting]
+	if agg == nil {
+		agg = &latencyAgg{}
+		s.latency[setting] = agg
+	}
+	agg.count++
+	agg.totalMS += ms
+	if ms > agg.maxMS {
+		agg.maxMS = ms
+	}
+}
+
+// CacheStats exposes the cache hierarchy's counters (used by tests and the
+// metrics endpoint).
+func (s *Server) CacheStats() engine.TieredStats { return s.cache.Stats() }
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError writes err as an ErrorResponse with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

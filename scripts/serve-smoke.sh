@@ -1,0 +1,34 @@
+#!/bin/sh
+# Smoke test for zac-serve: boot the service with a persistent cache dir,
+# probe /healthz, POST a compile, read /metrics, then re-POST the same
+# compile and require the response to be flagged as cached.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:8756}"
+WORK="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/zac-serve" ./cmd/zac-serve
+"$WORK/zac-serve" -addr "$ADDR" -cachedir "$WORK/cache" >"$WORK/serve.log" 2>&1 &
+PID=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "zac-serve never became healthy" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+
+curl -fsS "http://$ADDR/healthz" | grep -q '"status": "ok"'
+curl -fsS -X POST "http://$ADDR/v1/compile?zair=0" -d '{"circuit":"bv_n14"}' \
+    | tee "$WORK/first.json" | grep -q '"fidelity"'
+grep -q '"cached": false' "$WORK/first.json"
+curl -fsS -X POST "http://$ADDR/v1/compile?zair=0" -d '{"circuit":"bv_n14"}' \
+    | grep -q '"cached": true'
+curl -fsS "http://$ADDR/metrics" | grep -q '"mem_hits": 1'
+
+echo "serve-smoke: OK"
