@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet doclint build test race bench serve-smoke
+.PHONY: check vet doclint build test race bench bench-micro bench-compare serve-smoke
 
 check: vet doclint build race
 
@@ -25,6 +25,17 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSuite(Sequential|Parallel)' -benchtime 2x .
+
+# Placement hot-path micro-benchmarks (ISSUE 3): JV matching, SA initial
+# placement, and the full BuildPlan pipeline, with allocation counts.
+bench-micro:
+	$(GO) test -run xxx -bench 'BenchmarkJVDense|BenchmarkJVSparse|BenchmarkSAInitial|BenchmarkBuildPlan' -benchmem ./internal/matching ./internal/place
+
+# Diff the micro-benchmarks against a baseline ref (default HEAD) and emit
+# BENCH_3.json: make bench-compare REF=<ref>.
+REF ?= HEAD
+bench-compare:
+	./scripts/bench-compare.sh $(REF)
 
 # Boot zac-serve against a throwaway cache dir, probe /healthz, compile one
 # circuit, and check /metrics — the same smoke CI runs.

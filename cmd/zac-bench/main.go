@@ -8,11 +8,16 @@
 // zac-serve and zairsim: a second run over the same directory restores
 // compilation results instead of recomputing them.
 //
+// With -cpuprofile/-memprofile the run writes pprof profiles of the whole
+// experiment sweep, the easiest way to profile the compiler's hot path over
+// realistic workloads (see DESIGN.md, "Performance").
+//
 //	zac-bench -experiment fig8
 //	zac-bench -experiment fig9 -circuits bv_n14,ghz_n23
 //	zac-bench -experiment all -csv out/
 //	zac-bench -experiment all -parallel 8 -progress
 //	zac-bench -experiment all -cachedir ~/.cache/zac
+//	zac-bench -experiment fig12 -nocache -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -22,12 +27,21 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"zac/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole CLI body and reports the exit code; keeping it out of
+// main means the deferred CPU/heap profile writers flush even on failed or
+// interrupted runs, when a partial profile is most useful.
+func run() int {
 	exp := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: full suite)")
@@ -37,12 +51,43 @@ func main() {
 	noCache := flag.Bool("nocache", false, "disable the compilation cache (recompile shared circuits)")
 	cacheDir := flag.String("cachedir", "", "persistent compilation-cache directory shared with zac-serve and zairsim")
 	cacheMB := flag.Int64("cachemb", 0, "disk cache size bound in MiB (0 = unbounded; needs -cachedir)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: -memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: -memprofile: %v\n", err)
+		}
+	}()
 
 	if *cacheDir != "" {
 		if err := experiments.SetCacheDir(*cacheDir, *cacheMB<<20); err != nil {
 			fmt.Fprintf(os.Stderr, "zac-bench: -cachedir: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -50,7 +95,7 @@ func main() {
 		for _, n := range experiments.Registry() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 
 	var subset []string
@@ -74,19 +119,19 @@ func main() {
 		tables, err := experiments.RunWith(ctx, cfg, id, subset)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zac-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		for i, t := range tables {
 			fmt.Println(t.Render())
 			if *csvDir != "" {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 					fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 				name := fmt.Sprintf("%s_%d.csv", id, i)
 				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 			}
 		}
@@ -101,4 +146,5 @@ func main() {
 		}
 	}
 	fmt.Println("[INFO] Finish Compilation")
+	return 0
 }

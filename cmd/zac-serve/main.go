@@ -5,7 +5,11 @@
 // the engine's tiered cache; with -cachedir they persist to disk and are
 // shared with zac-bench and zairsim runs pointed at the same directory.
 //
+// With -pprof the standard net/http/pprof endpoints are mounted under
+// /debug/pprof/ so a live service can be CPU- or heap-profiled under load.
+//
 //	zac-serve -addr :8756 -cachedir ~/.cache/zac
+//	zac-serve -addr :8756 -pprof
 //	curl -s localhost:8756/healthz
 //	curl -s -X POST localhost:8756/v1/compile -d '{"circuit":"ghz_n23"}'
 //	curl -s localhost:8756/metrics
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -33,6 +38,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent compilations (0 = all CPUs)")
 	memEntries := flag.Int("mementries", 4096, "in-memory cache capacity in entries (0 = unbounded)")
 	maxBatch := flag.Int("maxbatch", 64, "max requests per batch")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile live compilations)")
 	flag.Parse()
 
 	opts := serve.Options{Parallel: *parallel, MemEntries: *memEntries, MaxBatch: *maxBatch}
@@ -49,7 +55,22 @@ func main() {
 	}
 
 	srv := serve.New(opts)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Mount the profiling endpoints next to the API so a live service
+		// under load can be profiled with
+		// `go tool pprof host:port/debug/pprof/profile`.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "zac-serve: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

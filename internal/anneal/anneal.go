@@ -18,6 +18,19 @@ type Problem interface {
 	Propose(r *rand.Rand) (undo func())
 }
 
+// DeltaProblem is an optional extension of Problem for states that can
+// evaluate a proposal incrementally. ProposeDelta behaves like Propose but
+// additionally returns the resulting total cost, letting the state
+// re-evaluate only the objective terms its move touched instead of the full
+// objective. Implementations must consume the RNG exactly as Propose would
+// and must return a value bit-identical to what a full Cost() recomputation
+// would produce, so annealing trajectories (and therefore seeded outputs)
+// are independent of which interface the engine dispatches through.
+type DeltaProblem interface {
+	Problem
+	ProposeDelta(r *rand.Rand) (next float64, undo func())
+}
+
 // Options tunes the annealing schedule.
 type Options struct {
 	// Iterations is the total number of proposals (the paper uses a
@@ -62,10 +75,17 @@ func Run(p Problem, opts Options, r *rand.Rand) Result {
 	// keeping undo stack from the best point.
 	var sinceBest []func()
 	stale := 0
+	dp, incremental := p.(DeltaProblem)
 
 	for it := 0; it < opts.Iterations; it++ {
-		undo := p.Propose(r)
-		next := p.Cost()
+		var next float64
+		var undo func()
+		if incremental {
+			next, undo = dp.ProposeDelta(r)
+		} else {
+			undo = p.Propose(r)
+			next = p.Cost()
+		}
 		delta := next - cur
 		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
 			cur = next

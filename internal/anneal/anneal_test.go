@@ -122,3 +122,68 @@ func TestRunPermutation(t *testing.T) {
 		t.Fatalf("permutation not sorted enough: cost %v (order %v)", res.BestCost, p.order)
 	}
 }
+
+// deltaQuadratic wraps quadratic with an incremental ProposeDelta that
+// keeps a per-coordinate contribution cache and refreshes only the touched
+// coordinate, mirroring how place's SA state implements
+// anneal.DeltaProblem: the total is re-summed over the cache in coordinate
+// order so it stays bit-identical to a full Cost() recomputation.
+type deltaQuadratic struct {
+	quadratic
+	terms []float64 // cached (x_i - target_i)^2 per coordinate
+}
+
+func (q *deltaQuadratic) refresh(i int) {
+	d := q.x[i] - q.target[i]
+	q.terms[i] = d * d
+}
+
+func (q *deltaQuadratic) Cost() float64 {
+	for i := range q.x {
+		q.refresh(i)
+	}
+	return q.sum()
+}
+
+func (q *deltaQuadratic) sum() float64 {
+	s := 0.0
+	for _, t := range q.terms {
+		s += t
+	}
+	return s
+}
+
+func (q *deltaQuadratic) ProposeDelta(r *rand.Rand) (float64, func()) {
+	i := r.Intn(len(q.x))
+	old := q.x[i]
+	q.x[i] += (r.Float64() - 0.5) * 2
+	q.refresh(i)
+	return q.sum(), func() {
+		q.x[i] = old
+		q.refresh(i)
+	}
+}
+
+// TestDeltaProblemMatchesFullRecompute runs the same seeded problem through
+// the Propose+Cost path and the ProposeDelta path; trajectories, results,
+// and final states must match exactly.
+func TestDeltaProblemMatchesFullRecompute(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		plain := &quadratic{x: []float64{10, -7, 3, 2}, target: []float64{0, 1, 0, -2}}
+		incr := &deltaQuadratic{quadratic: quadratic{
+			x:      append([]float64(nil), plain.x...),
+			target: append([]float64(nil), plain.target...),
+		}}
+		incr.terms = make([]float64, len(incr.x))
+		resPlain := Run(plain, Options{Iterations: 2000}, rand.New(rand.NewSource(seed)))
+		resIncr := Run(incr, Options{Iterations: 2000}, rand.New(rand.NewSource(seed)))
+		if resPlain != resIncr {
+			t.Fatalf("seed %d: results diverge: %+v vs %+v", seed, resPlain, resIncr)
+		}
+		for i := range plain.x {
+			if plain.x[i] != incr.x[i] {
+				t.Fatalf("seed %d: final states diverge at %d: %v vs %v", seed, i, plain.x[i], incr.x[i])
+			}
+		}
+	}
+}

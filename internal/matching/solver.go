@@ -1,0 +1,222 @@
+package matching
+
+import (
+	"errors"
+	"math"
+)
+
+// errTooManyRows reports an n > m problem, which can never be fully matched.
+var errTooManyRows = errors.New("matching: more rows than columns; no full matching possible")
+
+// Solver is a reusable Jonker–Volgenant assignment solver. It owns the
+// per-row scratch (potentials, shortest-path labels, visited flags) that
+// MinWeightFullMatching allocates per call, growing the buffers on demand
+// and reusing them across solves: after warm-up a solve performs zero heap
+// allocations (verified by BenchmarkJVDense/-benchmem). A zero Solver is
+// ready to use; a Solver must not be used concurrently.
+//
+// SolveDense and SolveSparse run the exact same arithmetic as
+// MinWeightFullMatching over the same edge set, so all three produce
+// bit-identical assignments and totals.
+type Solver struct {
+	u, v  []float64
+	minv  []float64
+	used  []bool
+	p     []int // p[j] = row matched to column j (1-based; 0 = none)
+	way   []int
+	rowTo []int
+}
+
+// grow sizes the scratch for an n×m problem and resets the state that must
+// start zeroed. The minv/used arrays are re-initialized per row inside the
+// solve loops, exactly as the allocating implementation does.
+func (s *Solver) grow(n, m int) {
+	if cap(s.u) < n+1 {
+		s.u = make([]float64, n+1)
+	}
+	s.u = s.u[:n+1]
+	for i := range s.u {
+		s.u[i] = 0
+	}
+	need := m + 1
+	if cap(s.v) < need {
+		s.v = make([]float64, need)
+		s.minv = make([]float64, need)
+		s.used = make([]bool, need)
+		s.p = make([]int, need)
+		s.way = make([]int, need)
+	}
+	s.v, s.minv, s.used = s.v[:need], s.minv[:need], s.used[:need]
+	s.p, s.way = s.p[:need], s.way[:need]
+	for j := 0; j < need; j++ {
+		s.v[j] = 0
+		s.p[j] = 0
+		s.way[j] = 0
+	}
+	if cap(s.rowTo) < n {
+		s.rowTo = make([]int, n)
+	}
+	s.rowTo = s.rowTo[:n]
+}
+
+// finish extracts the assignment from the matched-column array and totals it
+// via the provided per-row cost lookup.
+func (s *Solver) finish(n, m int, costAt func(i, j int) float64) ([]int, float64, error) {
+	for j := 1; j <= m; j++ {
+		if s.p[j] > 0 {
+			s.rowTo[s.p[j]-1] = j - 1
+		}
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += costAt(i, s.rowTo[i])
+	}
+	if math.IsInf(total, 1) || math.IsNaN(total) {
+		return nil, 0, ErrNoFullMatching
+	}
+	return s.rowTo, total, nil
+}
+
+// SolveDense solves the n×m assignment problem over a row-major flat cost
+// slice (len n*m; +Inf marks a forbidden pair). The returned assignment
+// slice is owned by the Solver and valid until the next solve.
+func (s *Solver) SolveDense(n, m int, cost []float64) ([]int, float64, error) {
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n > m {
+		return nil, 0, errTooManyRows
+	}
+	s.grow(n, m)
+	inf := math.Inf(1)
+	for i := 1; i <= n; i++ {
+		s.p[0] = i
+		j0 := 0
+		for j := range s.minv {
+			s.minv[j] = inf
+			s.used[j] = false
+		}
+		for {
+			s.used[j0] = true
+			i0 := s.p[j0]
+			delta := inf
+			j1 := -1
+			row := cost[(i0-1)*m:]
+			for j := 1; j <= m; j++ {
+				if s.used[j] {
+					continue
+				}
+				cur := row[j-1] - s.u[i0] - s.v[j]
+				if cur < s.minv[j] {
+					s.minv[j] = cur
+					s.way[j] = j0
+				}
+				if s.minv[j] < delta {
+					delta = s.minv[j]
+					j1 = j
+				}
+			}
+			if j1 == -1 || math.IsInf(delta, 1) {
+				return nil, 0, ErrNoFullMatching
+			}
+			for j := 0; j <= m; j++ {
+				if s.used[j] {
+					s.u[s.p[j]] += delta
+					s.v[j] -= delta
+				} else if !math.IsInf(s.minv[j], 1) {
+					s.minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if s.p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := s.way[j0]
+			s.p[j0] = s.p[j1]
+			j0 = j1
+		}
+	}
+	return s.finish(n, m, func(i, j int) float64 { return cost[i*m+j] })
+}
+
+// SolveSparse solves the n×m assignment problem over a CSR candidate list:
+// row i's arcs are cols[rowStart[i]:rowStart[i+1]] with the matching costs
+// slice, and every absent (row, column) pair is forbidden. Columns must not
+// repeat within a row. This is the entry point for gate and storage-return
+// placement, where each row only ever sees the k-neighbor candidate columns
+// place.Options restricts it to: the relaxation step then costs O(deg)
+// instead of O(m), and no dense +Inf matrix is materialized. The returned
+// assignment slice is owned by the Solver and valid until the next solve.
+func (s *Solver) SolveSparse(n, m int, rowStart, cols []int, costs []float64) ([]int, float64, error) {
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n > m {
+		return nil, 0, errTooManyRows
+	}
+	s.grow(n, m)
+	inf := math.Inf(1)
+	for i := 1; i <= n; i++ {
+		s.p[0] = i
+		j0 := 0
+		for j := range s.minv {
+			s.minv[j] = inf
+			s.used[j] = false
+		}
+		for {
+			s.used[j0] = true
+			i0 := s.p[j0]
+			// Relax only the arcs of row i0; every other column keeps
+			// minv = +Inf, exactly as a dense +Inf entry would.
+			for a := rowStart[i0-1]; a < rowStart[i0]; a++ {
+				j := cols[a] + 1
+				if s.used[j] {
+					continue
+				}
+				cur := costs[a] - s.u[i0] - s.v[j]
+				if cur < s.minv[j] {
+					s.minv[j] = cur
+					s.way[j] = j0
+				}
+			}
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if !s.used[j] && s.minv[j] < delta {
+					delta = s.minv[j]
+					j1 = j
+				}
+			}
+			if j1 == -1 || math.IsInf(delta, 1) {
+				return nil, 0, ErrNoFullMatching
+			}
+			for j := 0; j <= m; j++ {
+				if s.used[j] {
+					s.u[s.p[j]] += delta
+					s.v[j] -= delta
+				} else if !math.IsInf(s.minv[j], 1) {
+					s.minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if s.p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := s.way[j0]
+			s.p[j0] = s.p[j1]
+			j0 = j1
+		}
+	}
+	return s.finish(n, m, func(i, j int) float64 {
+		for a := rowStart[i]; a < rowStart[i+1]; a++ {
+			if cols[a] == j {
+				return costs[a]
+			}
+		}
+		return math.Inf(1)
+	})
+}

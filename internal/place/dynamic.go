@@ -2,7 +2,6 @@ package place
 
 import (
 	"fmt"
-	"math"
 
 	"zac/internal/arch"
 	"zac/internal/circuit"
@@ -49,12 +48,107 @@ func sharesQubit(g, h circuit.Gate) bool {
 	return false
 }
 
-// candidateSites returns the Ω_cand site set for a gate (paper §V-B2): the
-// δ-expansion box around the gate's nearest site in each entanglement zone,
-// minus the excluded set. Sites with fewer trap slots than the gate has
-// qubits are never candidates (multi-trap sites, §III).
-func candidateSites(a *arch.Architecture, pts []geom.Point, delta int, excluded map[arch.SiteRef]bool) []arch.SiteRef {
-	var out []arch.SiteRef
+// transitionScratch holds every reusable buffer of the stage-transition
+// solver: the JV solver with its scratch, dense site/trap column indexes
+// (reset through touched lists), the qubit-sized flag arrays that replaced
+// the per-solve reserved/stay/banned maps, and the CSR arc arrays fed to
+// matching.Solver.SolveSparse. BuildPlan keeps two so the reuse and
+// no-reuse candidate transitions can be solved concurrently; a scratch must
+// not be shared between concurrent solves.
+type transitionScratch struct {
+	solver matching.Solver
+
+	posView []Pos
+
+	reserved []bool // by site ordinal; reset via the sites union list
+	stay     []bool // by qubit; cleared per solve
+	banned   []bool // by qubit; cleared per solveTransition
+	related  []int32 // by qubit → next-stage partner, -1 = none
+
+	lookahead []int32 // by gate index in cur → partner qubit, -1 = none
+	reuseOf   []int   // by gate index in cur
+	gateIdx   []int
+
+	// union-column machinery shared by gate and return placement
+	sites   []arch.SiteRef
+	siteCol []int32 // by site ordinal → dense column, -1 = unseen
+	traps   []arch.TrapRef
+	trapCol []int32 // by trap ordinal → dense column, -1 = unseen
+
+	// flattened per-row candidate lists (CSR layout)
+	cands   []arch.SiteRef
+	candRow []int
+	tcands  []arch.TrapRef
+	tcandRow []int
+
+	// sparse matching arcs
+	rowStart []int
+	cols     []int
+	costs    []float64
+
+	assignSites []arch.SiteRef
+	assignTraps []arch.TrapRef
+	ptsBuf      []geom.Point
+	leaving     []int
+
+	// slot assignment
+	slotTaken []bool
+	pending   []int
+
+	// findMoveCycle state
+	moveAt     []int32 // by site-slot key → move index, -1
+	srcTouched []int
+	zoneMoves  []int
+	mstate     []int8
+	mpath      []int
+}
+
+// newTransitionScratch sizes a scratch for one architecture and qubit count.
+func newTransitionScratch(a *arch.Architecture, numQubits int) *transitionScratch {
+	sc := &transitionScratch{
+		reserved:  make([]bool, a.SiteCount()),
+		stay:      make([]bool, numQubits),
+		banned:    make([]bool, numQubits),
+		related:   make([]int32, numQubits),
+		siteCol:   make([]int32, a.SiteCount()),
+		trapCol:   make([]int32, a.TrapCount()),
+		slotTaken: make([]bool, a.MaxSiteSlots()),
+		moveAt:    make([]int32, a.SiteCount()*a.MaxSiteSlots()),
+	}
+	for i := range sc.siteCol {
+		sc.siteCol[i] = -1
+	}
+	for i := range sc.trapCol {
+		sc.trapCol[i] = -1
+	}
+	for i := range sc.moveAt {
+		sc.moveAt[i] = -1
+	}
+	return sc
+}
+
+// newOccupancy returns a dense storage-occupancy table (trap ordinal →
+// qubit, -1 = free) — the replacement for the old map[TrapRef]int.
+func newOccupancy(a *arch.Architecture) []int {
+	occ := make([]int, a.TrapCount())
+	for i := range occ {
+		occ[i] = -1
+	}
+	return occ
+}
+
+// candidateSites returns the Ω_cand site set for a gate as a fresh slice;
+// appendCandidateSites is the allocation-free variant the solver uses.
+func candidateSites(a *arch.Architecture, pts []geom.Point, delta int, excluded []bool) []arch.SiteRef {
+	return appendCandidateSites(a, nil, pts, delta, excluded)
+}
+
+// appendCandidateSites appends the Ω_cand site set for a gate (paper §V-B2)
+// to dst: the δ-expansion box around the gate's nearest site in each
+// entanglement zone, minus the excluded sites (indexed by site ordinal).
+// Sites with fewer trap slots than the gate has qubits are never candidates
+// (multi-trap sites, §III).
+func appendCandidateSites(a *arch.Architecture, dst []arch.SiteRef, pts []geom.Point, delta int, excluded []bool) []arch.SiteRef {
 	mid := centroid(pts)
 	near := nearSiteForQubits(a, pts)
 	for zi, z := range a.Entanglement {
@@ -72,13 +166,13 @@ func candidateSites(a *arch.Architecture, pts []geom.Point, delta int, excluded 
 		for r := max(0, nr-delta); r <= min(rows-1, nr+delta); r++ {
 			for c := max(0, nc-delta); c <= min(cols-1, nc+delta); c++ {
 				s := arch.SiteRef{Zone: zi, Row: r, Col: c}
-				if !excluded[s] {
-					out = append(out, s)
+				if excluded == nil || !excluded[a.SiteOrdinal(s)] {
+					dst = append(dst, s)
 				}
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 func max(a, b int) int {
@@ -97,22 +191,23 @@ func min(a, b int) int {
 
 // gatePlacement assigns Rydberg sites to the non-reused gates of a stage by
 // minimum-weight full matching (paper §V-B2, Jonker–Volgenant). pos gives
-// current qubit positions; reserved sites (reused gates, held qubits) are
-// excluded except that a gate may target a site currently held by one of its
-// own qubits. lookahead[gi] optionally names a qubit whose distance to the
-// chosen site is added (the §V-B2 reuse lookahead term).
+// current qubit positions; sc.reserved marks sites excluded for every gate
+// (reused gates), except that a gate may target a site currently held by
+// one of its own qubits. lookahead[gi] ≥ 0 optionally names a qubit whose
+// distance to the chosen site is added (the §V-B2 reuse lookahead term).
+// The returned assignment is aligned with gateIdx and owned by the scratch.
 func gatePlacement(
 	a *arch.Architecture,
 	gates []circuit.Gate,
 	gateIdx []int, // indices (into gates) that still need sites
 	pos []Pos,
-	reserved map[arch.SiteRef]bool,
+	lookahead []int32, // by gate index; nil or -1 = no lookahead
 	held map[arch.SiteRef][]int, // site → zone-resident qubits still there
-	lookahead map[int]int, // gate index → partner qubit for next stage
 	delta int,
-) (map[int]arch.SiteRef, float64, error) {
+	sc *transitionScratch,
+) ([]arch.SiteRef, float64, error) {
 	if len(gateIdx) == 0 {
-		return map[int]arch.SiteRef{}, 0, nil
+		return nil, 0, nil
 	}
 	maxDelta := delta
 	for _, z := range a.Entanglement {
@@ -124,7 +219,7 @@ func gatePlacement(
 		}
 	}
 	for d := delta; d <= maxDelta; d *= 2 {
-		assign, cost, err := tryGatePlacement(a, gates, gateIdx, pos, reserved, held, lookahead, d)
+		assign, cost, err := tryGatePlacement(a, gates, gateIdx, pos, lookahead, held, d, sc)
 		if err == nil {
 			return assign, cost, nil
 		}
@@ -140,60 +235,70 @@ func tryGatePlacement(
 	gates []circuit.Gate,
 	gateIdx []int,
 	pos []Pos,
-	reserved map[arch.SiteRef]bool,
+	lookahead []int32,
 	held map[arch.SiteRef][]int,
-	lookahead map[int]int,
 	delta int,
-) (map[int]arch.SiteRef, float64, error) {
-	// Union of candidate sites across gates.
-	siteIndex := map[arch.SiteRef]int{}
-	var sites []arch.SiteRef
-	perGate := make([][]arch.SiteRef, len(gateIdx))
-	gatePts := func(g circuit.Gate) []geom.Point {
-		pts := make([]geom.Point, len(g.Qubits))
-		for i, q := range g.Qubits {
-			pts[i] = pos[q].Point(a)
+	sc *transitionScratch,
+) ([]arch.SiteRef, float64, error) {
+	// Per-gate candidate lists (CSR over sc.cands) and their union, indexed
+	// densely through sc.siteCol in first-appearance order — the same column
+	// order the dense matrix construction used.
+	sc.sites = sc.sites[:0]
+	sc.cands = sc.cands[:0]
+	sc.candRow = sc.candRow[:0]
+	defer func() {
+		for _, s := range sc.sites {
+			sc.siteCol[a.SiteOrdinal(s)] = -1
 		}
-		return pts
+	}()
+	gatePts := func(g circuit.Gate) []geom.Point {
+		sc.ptsBuf = sc.ptsBuf[:0]
+		for _, q := range g.Qubits {
+			sc.ptsBuf = append(sc.ptsBuf, pos[q].Point(a))
+		}
+		return sc.ptsBuf
 	}
-	for k, gi := range gateIdx {
-		cands := candidateSites(a, gatePts(gates[gi]), delta, reserved)
-		perGate[k] = cands
-		for _, s := range cands {
-			if _, ok := siteIndex[s]; !ok {
-				siteIndex[s] = len(sites)
-				sites = append(sites, s)
+	for _, gi := range gateIdx {
+		sc.candRow = append(sc.candRow, len(sc.cands))
+		sc.cands = appendCandidateSites(a, sc.cands, gatePts(gates[gi]), delta, sc.reserved)
+		for _, s := range sc.cands[sc.candRow[len(sc.candRow)-1]:] {
+			if ord := a.SiteOrdinal(s); sc.siteCol[ord] < 0 {
+				sc.siteCol[ord] = int32(len(sc.sites))
+				sc.sites = append(sc.sites, s)
 			}
 		}
 	}
-	if len(sites) < len(gateIdx) {
+	sc.candRow = append(sc.candRow, len(sc.cands))
+	if len(sc.sites) < len(gateIdx) {
 		return nil, 0, matching.ErrNoFullMatching
 	}
-	inf := math.Inf(1)
-	cost := make([][]float64, len(gateIdx))
-	for k := range cost {
-		cost[k] = make([]float64, len(sites))
-		for j := range cost[k] {
-			cost[k][j] = inf
-		}
-	}
+
+	sc.rowStart = sc.rowStart[:0]
+	sc.cols = sc.cols[:0]
+	sc.costs = sc.costs[:0]
 	for k, gi := range gateIdx {
+		sc.rowStart = append(sc.rowStart, len(sc.cols))
 		g := gates[gi]
 		pts := gatePts(g)
-		inGate := func(q int) bool {
-			for _, gq := range g.Qubits {
-				if gq == q {
-					return true
-				}
-			}
-			return false
+		var lookPt geom.Point
+		partner := -1
+		if lookahead != nil && lookahead[gi] >= 0 {
+			partner = int(lookahead[gi])
+			lookPt = pos[partner].Point(a)
 		}
-		for _, s := range perGate[k] {
+		for _, s := range sc.cands[sc.candRow[k]:sc.candRow[k+1]] {
 			// A site held by a foreign zone-resident qubit is unavailable;
 			// held by this gate's own qubits is fine (the qubit stays put).
 			foreign := false
 			for _, hq := range held[s] {
-				if !inGate(hq) {
+				in := false
+				for _, gq := range g.Qubits {
+					if gq == hq {
+						in = true
+						break
+					}
+				}
+				if !in {
 					foreign = true
 					break
 				}
@@ -203,44 +308,48 @@ func tryGatePlacement(
 			}
 			sp := a.SitePos(s)
 			w := gateCost(a, sp, pts...)
-			if partner, ok := lookahead[gi]; ok {
-				w += moveCost(a, pos[partner].Point(a), sp)
+			if partner >= 0 {
+				w += moveCost(a, lookPt, sp)
 			}
-			cost[k][siteIndex[s]] = w
+			sc.cols = append(sc.cols, int(sc.siteCol[a.SiteOrdinal(s)]))
+			sc.costs = append(sc.costs, w)
 		}
 	}
-	rowTo, total, err := matching.MinWeightFullMatching(cost)
+	sc.rowStart = append(sc.rowStart, len(sc.cols))
+
+	rowTo, total, err := sc.solver.SolveSparse(len(gateIdx), len(sc.sites), sc.rowStart, sc.cols, sc.costs)
 	if err != nil {
 		return nil, 0, err
 	}
-	assign := make(map[int]arch.SiteRef, len(gateIdx))
-	for k, gi := range gateIdx {
-		assign[gi] = sites[rowTo[k]]
+	sc.assignSites = sc.assignSites[:0]
+	for k := range gateIdx {
+		sc.assignSites = append(sc.assignSites, sc.sites[rowTo[k]])
 	}
-	return assign, total, nil
+	return sc.assignSites, total, nil
 }
 
 // returnPlacement assigns storage traps to the qubits leaving the
 // entanglement zone (paper §V-B3): candidates are the empty traps inside the
 // bounding box spanned by (1) the qubit's original storage trap, (2) the
 // k-neighborhood of the storage trap nearest its current site, and (3) the
-// trap nearest its related qubit; edge weights follow Eq. 3. Returns the
-// trap per qubit and the matching cost.
+// trap nearest its related qubit; edge weights follow Eq. 3. The returned
+// assignment is aligned with qubits and owned by the scratch.
 func returnPlacement(
 	a *arch.Architecture,
 	qubits []int,
 	pos []Pos,
 	home []arch.TrapRef,
-	related map[int]int, // qubit → partner in the next Rydberg stage
-	occupied map[arch.TrapRef]int,
+	related []int32, // by qubit → partner in the next Rydberg stage, -1 = none
+	occ []int, // by trap ordinal → qubit, -1 = free
 	k int,
 	alpha float64,
-) (map[int]arch.TrapRef, float64, error) {
+	sc *transitionScratch,
+) ([]arch.TrapRef, float64, error) {
 	if len(qubits) == 0 {
-		return map[int]arch.TrapRef{}, 0, nil
+		return nil, 0, nil
 	}
 	for attempt, kk := 0, k; attempt < 4; attempt, kk = attempt+1, kk*2+1 {
-		assign, cost, err := tryReturnPlacement(a, qubits, pos, home, related, occupied, kk, alpha, attempt == 3)
+		assign, cost, err := tryReturnPlacement(a, qubits, pos, home, related, occ, kk, alpha, attempt == 3, sc)
 		if err == nil {
 			return assign, cost, nil
 		}
@@ -256,89 +365,103 @@ func tryReturnPlacement(
 	qubits []int,
 	pos []Pos,
 	home []arch.TrapRef,
-	related map[int]int,
-	occupied map[arch.TrapRef]int,
+	related []int32,
+	occ []int,
 	k int,
 	alpha float64,
 	allTraps bool,
-) (map[int]arch.TrapRef, float64, error) {
-	trapIndex := map[arch.TrapRef]int{}
-	var traps []arch.TrapRef
-	addTrap := func(t arch.TrapRef) {
-		if _, taken := occupied[t]; taken {
-			return
+	sc *transitionScratch,
+) ([]arch.TrapRef, float64, error) {
+	sc.traps = sc.traps[:0]
+	sc.tcands = sc.tcands[:0]
+	sc.tcandRow = sc.tcandRow[:0]
+	defer func() {
+		for _, t := range sc.traps {
+			sc.trapCol[a.TrapOrdinal(t)] = -1
 		}
-		if _, ok := trapIndex[t]; !ok {
-			trapIndex[t] = len(traps)
-			traps = append(traps, t)
-		}
-	}
-
-	perQubit := make([][]arch.TrapRef, len(qubits))
-	for i, q := range qubits {
-		var cands []arch.TrapRef
+	}()
+	for _, q := range qubits {
+		sc.tcandRow = append(sc.tcandRow, len(sc.tcands))
 		if allTraps {
-			for _, t := range a.AllStorageTraps() {
-				if _, taken := occupied[t]; !taken {
-					cands = append(cands, t)
+			for ord, taken := range occ {
+				if taken < 0 {
+					sc.tcands = append(sc.tcands, a.TrapAt(ord))
 				}
 			}
 		} else {
-			cands = candidateTraps(a, q, pos, home, related, occupied, k)
+			sc.tcands = appendCandidateTraps(a, sc.tcands, q, pos, home, related, occ, k)
 		}
-		perQubit[i] = cands
-		for _, t := range cands {
-			addTrap(t)
+		for _, t := range sc.tcands[sc.tcandRow[len(sc.tcandRow)-1]:] {
+			if ord := a.TrapOrdinal(t); sc.trapCol[ord] < 0 {
+				sc.trapCol[ord] = int32(len(sc.traps))
+				sc.traps = append(sc.traps, t)
+			}
 		}
 	}
-	if len(traps) < len(qubits) {
+	sc.tcandRow = append(sc.tcandRow, len(sc.tcands))
+	if len(sc.traps) < len(qubits) {
 		return nil, 0, matching.ErrNoFullMatching
 	}
-	inf := math.Inf(1)
-	cost := make([][]float64, len(qubits))
-	for i := range cost {
-		cost[i] = make([]float64, len(traps))
-		for j := range cost[i] {
-			cost[i][j] = inf
-		}
-	}
+
+	sc.rowStart = sc.rowStart[:0]
+	sc.cols = sc.cols[:0]
+	sc.costs = sc.costs[:0]
 	for i, q := range qubits {
+		sc.rowStart = append(sc.rowStart, len(sc.cols))
 		cur := pos[q].Point(a)
-		for _, t := range perQubit[i] {
-			w := moveCost(a, cur, a.TrapPos(t))
-			// A non-positive α disables the lookahead term (used by the
-			// parameter-sweep ablation).
-			if partner, ok := related[q]; ok && alpha > 0 {
-				w += alpha * moveCost(a, pos[partner].Point(a), a.TrapPos(t))
+		// A non-positive α disables the lookahead term (used by the
+		// parameter-sweep ablation).
+		partner := -1
+		var partnerPt geom.Point
+		if related != nil && related[q] >= 0 && alpha > 0 {
+			partner = int(related[q])
+			partnerPt = pos[partner].Point(a)
+		}
+		for _, t := range sc.tcands[sc.tcandRow[i]:sc.tcandRow[i+1]] {
+			ord := a.TrapOrdinal(t)
+			tp := a.TrapPosAt(ord)
+			w := moveCost(a, cur, tp)
+			if partner >= 0 {
+				w += alpha * moveCost(a, partnerPt, tp)
 			}
-			cost[i][trapIndex[t]] = w
+			sc.cols = append(sc.cols, int(sc.trapCol[ord]))
+			sc.costs = append(sc.costs, w)
 		}
 	}
-	rowTo, total, err := matching.MinWeightFullMatching(cost)
+	sc.rowStart = append(sc.rowStart, len(sc.cols))
+
+	rowTo, total, err := sc.solver.SolveSparse(len(qubits), len(sc.traps), sc.rowStart, sc.cols, sc.costs)
 	if err != nil {
 		return nil, 0, err
 	}
-	assign := make(map[int]arch.TrapRef, len(qubits))
-	for i, q := range qubits {
-		assign[q] = traps[rowTo[i]]
+	sc.assignTraps = sc.assignTraps[:0]
+	for i := range qubits {
+		sc.assignTraps = append(sc.assignTraps, sc.traps[rowTo[i]])
 	}
-	return assign, total, nil
+	return sc.assignTraps, total, nil
 }
 
-// candidateTraps builds S_cand^q for one qubit: empty traps inside the
-// bounding box of the three anchor trap groups (paper Fig. 6c).
-func candidateTraps(
+// candidateTraps returns S_cand^q for one qubit as a fresh slice;
+// appendCandidateTraps is the variant the solver uses.
+func candidateTraps(a *arch.Architecture, q int, pos []Pos, home []arch.TrapRef, related []int32, occ []int, k int) []arch.TrapRef {
+	return appendCandidateTraps(a, nil, q, pos, home, related, occ, k)
+}
+
+// appendCandidateTraps appends S_cand^q for one qubit to dst: empty traps
+// inside the bounding box of the three anchor trap groups (paper Fig. 6c).
+func appendCandidateTraps(
 	a *arch.Architecture,
+	dst []arch.TrapRef,
 	q int,
 	pos []Pos,
 	home []arch.TrapRef,
-	related map[int]int,
-	occupied map[arch.TrapRef]int,
+	related []int32,
+	occ []int,
 	k int,
 ) []arch.TrapRef {
 	cur := pos[q].Point(a)
 	box := geom.NewBBox()
-	var anchors []arch.TrapRef
+	anchors := make([]arch.TrapRef, 0, 4*k+3)
 
 	// (1) original storage trap
 	anchors = append(anchors, home[q])
@@ -348,7 +471,7 @@ func candidateTraps(
 	anchors = append(anchors, nearest)
 	z := a.Storage[nearest.Zone].SLMs[nearest.SLM]
 	for d := 1; d <= k; d++ {
-		for _, t := range []arch.TrapRef{
+		for _, t := range [4]arch.TrapRef{
 			{Zone: nearest.Zone, SLM: nearest.SLM, Row: nearest.Row, Col: nearest.Col - d},
 			{Zone: nearest.Zone, SLM: nearest.SLM, Row: nearest.Row, Col: nearest.Col + d},
 			{Zone: nearest.Zone, SLM: nearest.SLM, Row: nearest.Row - d, Col: nearest.Col},
@@ -360,8 +483,8 @@ func candidateTraps(
 		}
 	}
 	// (3) nearest trap to the related qubit
-	if partner, ok := related[q]; ok {
-		anchors = append(anchors, a.NearestStorageTrap(pos[partner].Point(a)))
+	if related != nil && related[q] >= 0 {
+		anchors = append(anchors, a.NearestStorageTrap(pos[related[q]].Point(a)))
 	}
 
 	for _, t := range anchors {
@@ -369,7 +492,6 @@ func candidateTraps(
 	}
 	// Collect the empty traps inside the bounding box. Restrict the scan to
 	// the storage SLM arrays that intersect the box.
-	var out []arch.TrapRef
 	for zi, zz := range a.Storage {
 		for si, s := range zz.SLMs {
 			rLo, cLo := s.NearestTrap(geom.Point{X: box.MinX, Y: box.MinY})
@@ -380,12 +502,12 @@ func candidateTraps(
 					if !box.Contains(s.TrapPos(r, c)) {
 						continue
 					}
-					if _, taken := occupied[t]; !taken {
-						out = append(out, t)
+					if occ[a.TrapOrdinal(t)] < 0 {
+						dst = append(dst, t)
 					}
 				}
 			}
 		}
 	}
-	return out
+	return dst
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"zac/internal/anneal"
 	"zac/internal/arch"
@@ -14,22 +13,13 @@ import (
 
 // TrivialInitial places qubits sequentially by index starting from the first
 // storage trap in the row nearest to the (first) entanglement zone — the
-// paper's 'Vanilla' initial placement (§VII-D).
+// paper's 'Vanilla' initial placement (§VII-D). The nearest-row-first
+// ordering is precomputed once per architecture (arch topology tables).
 func TrivialInitial(a *arch.Architecture, numQubits int) ([]arch.TrapRef, error) {
 	if numQubits > a.TotalStorageTraps() {
 		return nil, fmt.Errorf("place: %d qubits exceed %d storage traps", numQubits, a.TotalStorageTraps())
 	}
-	entY := a.Entanglement[0].Offset.Y
-	traps := a.AllStorageTraps()
-	// Sort rows by distance to the entanglement zone, then columns ascending.
-	sort.Slice(traps, func(i, j int) bool {
-		pi, pj := a.TrapPos(traps[i]), a.TrapPos(traps[j])
-		di, dj := math.Abs(pi.Y-entY), math.Abs(pj.Y-entY)
-		if di != dj {
-			return di < dj
-		}
-		return pi.X < pj.X
-	})
+	traps := a.StorageTrapsNearestFirst()
 	out := make([]arch.TrapRef, numQubits)
 	copy(out, traps[:numQubits])
 	return out, nil
@@ -59,27 +49,84 @@ func collectWeightedGates(s *circuit.Staged) []gateForCost {
 }
 
 // saState is the annealing state: an injective map qubit → storage trap.
+// The Eq. 2 objective is evaluated incrementally: per-gate contributions are
+// cached in costs and a proposal re-evaluates only the gates adjacent to the
+// moved qubit(s) (via the gatesOf index); the total is then re-summed over
+// the cache in gate order, so it stays bit-identical to a full Cost()
+// recomputation and annealing trajectories match the non-incremental engine.
 type saState struct {
 	a      *arch.Architecture
 	gates  []gateForCost
 	trapOf []arch.TrapRef
-	pts    []geom.Point // cached physical positions per qubit
+	pts    []geom.Point   // cached physical positions per qubit
+	near   []arch.SiteRef // cached NearestSite per qubit (trap-ordinal table)
 	// free traps for jump moves
 	free []arch.TrapRef
-	occ  map[arch.TrapRef]int // trap → qubit
+	occ  []int     // trap ordinal → qubit (-1 = empty)
+	gatesOf [][]int32 // qubit → indices into gates
+	costs   []float64 // cached weighted contribution per gate
 }
 
-func (s *saState) Cost() float64 {
+// placeQubit moves q to trap ordinal ord, updating every per-qubit cache.
+func (s *saState) placeQubit(q, ord int, t arch.TrapRef) {
+	s.trapOf[q] = t
+	s.occ[ord] = q
+	s.pts[q] = s.a.TrapPosAt(ord)
+	s.near[q] = s.a.NearestSiteOfTrap(ord)
+}
+
+// gateCostAt recomputes the cached contribution of one gate.
+func (s *saState) gateCostAt(gi int32) float64 {
+	g := s.gates[gi]
+	p1, p2 := s.pts[g.q1], s.pts[g.q2]
+	site := s.a.SitePos(nearSiteFromNearest(s.a, s.near[g.q1], s.near[g.q2], p1, p2))
+	return g.weight * gateCost2(s.a, site, p1, p2)
+}
+
+// refreshGates re-evaluates the gates adjacent to q (and q2 if ≥ 0),
+// skipping the shared gates already refreshed through q.
+func (s *saState) refreshGates(q, q2 int) {
+	for _, gi := range s.gatesOf[q] {
+		s.costs[gi] = s.gateCostAt(gi)
+	}
+	if q2 < 0 {
+		return
+	}
+	for _, gi := range s.gatesOf[q2] {
+		g := s.gates[gi]
+		if g.q1 == q || g.q2 == q {
+			continue
+		}
+		s.costs[gi] = s.gateCostAt(gi)
+	}
+}
+
+// sum totals the cached contributions in gate order — the exact accumulation
+// order of the pre-optimization full recomputation.
+func (s *saState) sum() float64 {
 	total := 0.0
-	for _, g := range s.gates {
-		p1, p2 := s.pts[g.q1], s.pts[g.q2]
-		site := s.a.SitePos(nearSiteForGate(s.a, p1, p2))
-		total += g.weight * gateCost(s.a, site, p1, p2)
+	for _, c := range s.costs {
+		total += c
 	}
 	return total
 }
 
+func (s *saState) Cost() float64 {
+	for i := range s.gates {
+		s.costs[i] = s.gateCostAt(int32(i))
+	}
+	return s.sum()
+}
+
 func (s *saState) Propose(r *rand.Rand) func() {
+	_, undo := s.ProposeDelta(r)
+	return undo
+}
+
+// ProposeDelta implements anneal.DeltaProblem: it performs the same move
+// distribution (and RNG draws) as the original Propose, then re-evaluates
+// only the touched gates.
+func (s *saState) ProposeDelta(r *rand.Rand) (float64, func()) {
 	n := len(s.trapOf)
 	q := r.Intn(n)
 	if len(s.free) > 0 && r.Float64() < 0.5 {
@@ -87,36 +134,37 @@ func (s *saState) Propose(r *rand.Rand) func() {
 		fi := r.Intn(len(s.free))
 		newTrap := s.free[fi]
 		oldTrap := s.trapOf[q]
+		oldOrd, newOrd := s.a.TrapOrdinal(oldTrap), s.a.TrapOrdinal(newTrap)
 		s.free[fi] = oldTrap
-		delete(s.occ, oldTrap)
-		s.occ[newTrap] = q
-		s.trapOf[q] = newTrap
-		s.pts[q] = s.a.TrapPos(newTrap)
-		return func() {
+		s.occ[oldOrd] = -1
+		s.placeQubit(q, newOrd, newTrap)
+		s.refreshGates(q, -1)
+		return s.sum(), func() {
 			s.free[fi] = newTrap
-			delete(s.occ, newTrap)
-			s.occ[oldTrap] = q
-			s.trapOf[q] = oldTrap
-			s.pts[q] = s.a.TrapPos(oldTrap)
+			s.occ[newOrd] = -1
+			s.placeQubit(q, oldOrd, oldTrap)
+			s.refreshGates(q, -1)
 		}
+	}
+	if n == 1 {
+		// A lone qubit with no free trap has no neighbor state; the old
+		// degenerate self-swap burned an RNG draw on a guaranteed no-op.
+		return s.sum(), func() {}
 	}
 	// Swap two qubits' traps.
 	q2 := r.Intn(n)
-	for q2 == q && n > 1 {
+	for q2 == q {
 		q2 = r.Intn(n)
 	}
-	t1, t2 := s.trapOf[q], s.trapOf[q2]
 	swap := func() {
 		s.trapOf[q], s.trapOf[q2] = s.trapOf[q2], s.trapOf[q]
-		s.occ[s.trapOf[q]] = q
-		s.occ[s.trapOf[q2]] = q2
-		s.pts[q] = s.a.TrapPos(s.trapOf[q])
-		s.pts[q2] = s.a.TrapPos(s.trapOf[q2])
+		o1, o2 := s.a.TrapOrdinal(s.trapOf[q]), s.a.TrapOrdinal(s.trapOf[q2])
+		s.placeQubit(q, o1, s.trapOf[q])
+		s.placeQubit(q2, o2, s.trapOf[q2])
+		s.refreshGates(q, q2)
 	}
 	swap()
-	_ = t1
-	_ = t2
-	return swap
+	return s.sum(), swap
 }
 
 // SAInitial refines the trivial initial placement with simulated annealing
@@ -137,16 +185,7 @@ func SAInitial(a *arch.Architecture, staged *circuit.Staged, iterations int, r *
 
 	// Candidate pool: the traps of the trivial placement plus the next rows
 	// of slack (2× the qubit count), in the same nearest-row-first order.
-	entY := a.Entanglement[0].Offset.Y
-	all := a.AllStorageTraps()
-	sort.Slice(all, func(i, j int) bool {
-		pi, pj := a.TrapPos(all[i]), a.TrapPos(all[j])
-		di, dj := math.Abs(pi.Y-entY), math.Abs(pj.Y-entY)
-		if di != dj {
-			return di < dj
-		}
-		return pi.X < pj.X
-	})
+	all := a.StorageTrapsNearestFirst()
 	poolSize := staged.NumQubits * 2
 	if poolSize > len(all) {
 		poolSize = len(all)
@@ -158,15 +197,26 @@ func SAInitial(a *arch.Architecture, staged *circuit.Staged, iterations int, r *
 		gates:  gates,
 		trapOf: append([]arch.TrapRef(nil), base...),
 		pts:    make([]geom.Point, staged.NumQubits),
-		occ:    make(map[arch.TrapRef]int, staged.NumQubits),
+		near:   make([]arch.SiteRef, staged.NumQubits),
+		occ:    make([]int, a.TrapCount()),
+		costs:  make([]float64, len(gates)),
+	}
+	for i := range st.occ {
+		st.occ[i] = -1
 	}
 	for q, t := range st.trapOf {
-		st.pts[q] = a.TrapPos(t)
-		st.occ[t] = q
+		st.placeQubit(q, a.TrapOrdinal(t), t)
 	}
 	for _, t := range pool {
-		if _, taken := st.occ[t]; !taken {
+		if st.occ[a.TrapOrdinal(t)] < 0 {
 			st.free = append(st.free, t)
+		}
+	}
+	st.gatesOf = make([][]int32, staged.NumQubits)
+	for gi, g := range gates {
+		st.gatesOf[g.q1] = append(st.gatesOf[g.q1], int32(gi))
+		if g.q2 != g.q1 {
+			st.gatesOf[g.q2] = append(st.gatesOf[g.q2], int32(gi))
 		}
 	}
 	anneal.Run(st, anneal.Options{Iterations: iterations}, r)

@@ -35,15 +35,16 @@ func TestGatePlacementMatchesBruteForce(t *testing.T) {
 		circuit.NewGate(circuit.CZ, []int{4, 5}),
 	}
 	gateIdx := []int{0, 1, 2}
-	assign, _, err := gatePlacement(a, gates, gateIdx, pos, nil, nil, nil, 2)
+	sc := newTransitionScratch(a, 6)
+	assign, _, err := gatePlacement(a, gates, gateIdx, pos, nil, nil, 2, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	jvCost := 0.0
-	for gi, site := range assign {
+	for k, gi := range gateIdx {
 		g := gates[gi]
-		jvCost += gateCost(a, a.SitePos(site),
+		jvCost += gateCost(a, a.SitePos(assign[k]),
 			pos[g.Qubits[0]].Point(a), pos[g.Qubits[1]].Point(a))
 	}
 
@@ -99,17 +100,22 @@ func TestReturnPlacementMatchesBruteForce(t *testing.T) {
 		{Zone: 0, SLM: 0, Row: 99, Col: 30},
 		{Zone: 0, SLM: 0, Row: 99, Col: 70},
 	}
-	occupied := map[arch.TrapRef]int{home[2]: 2, home[3]: 3}
-	related := map[int]int{0: 2, 1: 3}
+	occupied := newOccupancy(a)
+	occupied[a.TrapOrdinal(home[2])] = 2
+	occupied[a.TrapOrdinal(home[3])] = 3
+	related := []int32{2, 3, -1, -1}
 	const alpha = 0.1
 
-	assign, got, err := returnPlacement(a, []int{0, 1}, pos, home, related, occupied, 2, alpha)
+	qubits := []int{0, 1}
+	sc := newTransitionScratch(a, 4)
+	assign, got, err := returnPlacement(a, qubits, pos, home, related, occupied, 2, alpha, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Recompute cost from the assignment.
 	recost := 0.0
-	for q, tr := range assign {
+	for i, q := range qubits {
+		tr := assign[i]
 		recost += moveCost(a, pos[q].Point(a), a.TrapPos(tr))
 		recost += alpha * moveCost(a, pos[related[q]].Point(a), a.TrapPos(tr))
 	}

@@ -322,7 +322,7 @@ func TestCandidateTrapsIncludeAnchors(t *testing.T) {
 	// Qubit 0 sits at site (0,0); home trap (99, 5); no related qubit.
 	pos := []Pos{SitePos(arch.SiteRef{Zone: 0, Row: 0, Col: 0}, 0)}
 	home := []arch.TrapRef{{Zone: 0, SLM: 0, Row: 99, Col: 5}}
-	occupied := map[arch.TrapRef]int{}
+	occupied := newOccupancy(a)
 	cands := candidateTraps(a, 0, pos, home, nil, occupied, 2)
 	if len(cands) == 0 {
 		t.Fatal("no candidates")

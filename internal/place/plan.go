@@ -1,12 +1,14 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"zac/internal/arch"
 	"zac/internal/circuit"
+	"zac/internal/engine"
 )
 
 // Options selects the placement strategy; the four ablation settings of the
@@ -106,14 +108,17 @@ func (p *Plan) TotalReused() int {
 	return n
 }
 
-// planner carries the evolving placement state.
+// planner carries the evolving placement state. Storage occupancy is a
+// dense trap-ordinal table, and the two scratch sets let the reuse and
+// no-reuse transition candidates be solved concurrently.
 type planner struct {
-	a        *arch.Architecture
-	staged   *circuit.Staged
-	opts     Options
-	pos      []Pos                // current position per qubit
-	home     []arch.TrapRef       // last storage trap per qubit
-	occupied map[arch.TrapRef]int // storage occupancy
+	a       *arch.Architecture
+	staged  *circuit.Staged
+	opts    Options
+	pos     []Pos          // current position per qubit
+	home    []arch.TrapRef // last storage trap per qubit
+	occ     []int          // trap ordinal → qubit, -1 = free
+	scratch [2]*transitionScratch
 }
 
 // BuildPlan runs the full placement pipeline (§V).
@@ -141,13 +146,15 @@ func BuildPlan(a *arch.Architecture, staged *circuit.Staged, opts Options) (*Pla
 
 	pl := &planner{
 		a: a, staged: staged, opts: opts,
-		pos:      make([]Pos, staged.NumQubits),
-		home:     append([]arch.TrapRef(nil), initial...),
-		occupied: make(map[arch.TrapRef]int, staged.NumQubits),
+		pos:  make([]Pos, staged.NumQubits),
+		home: append([]arch.TrapRef(nil), initial...),
+		occ:  newOccupancy(a),
 	}
+	pl.scratch[0] = newTransitionScratch(a, staged.NumQubits)
+	pl.scratch[1] = newTransitionScratch(a, staged.NumQubits)
 	for q, t := range initial {
 		pl.pos[q] = StoragePos(t)
-		pl.occupied[t] = q
+		pl.occ[a.TrapOrdinal(t)] = q
 	}
 
 	plan := &Plan{Arch: a, Staged: staged, NumQubits: staged.NumQubits, Initial: initial}
@@ -163,14 +170,29 @@ func BuildPlan(a *arch.Architecture, staged *circuit.Staged, opts Options) (*Pla
 			prev = &plan.Steps[len(plan.Steps)-1]
 		}
 
-		sol, err := pl.solveTransition(prev, cur, next, opts.Reuse && prev != nil)
-		if err != nil {
-			return nil, err
-		}
+		var sol transitionSolution
 		if opts.Reuse && prev != nil {
-			alt, altErr := pl.solveTransition(prev, cur, next, false)
-			if altErr == nil && alt.cost < sol.cost {
-				sol = alt
+			// Solve the reuse and no-reuse candidates concurrently — they
+			// only read planner state and each owns one scratch set — then
+			// pick exactly as the sequential code did: the reuse solve's
+			// error is authoritative, and the cheaper candidate wins.
+			var sols [2]transitionSolution
+			var errs [2]error
+			_ = engine.ForEach(context.Background(), 2, 2, func(i int) error {
+				sols[i], errs[i] = pl.solveTransition(prev, cur, next, i == 0, pl.scratch[i])
+				return nil
+			})
+			if errs[0] != nil {
+				return nil, errs[0]
+			}
+			sol = sols[0]
+			if errs[1] == nil && sols[1].cost < sol.cost {
+				sol = sols[1]
+			}
+		} else {
+			sol, err = pl.solveTransition(prev, cur, next, false, pl.scratch[0])
+			if err != nil {
+				return nil, err
 			}
 		}
 		pl.commit(prev, sol)
@@ -187,7 +209,7 @@ func BuildPlan(a *arch.Architecture, staged *circuit.Staged, opts Options) (*Pla
 	// Final returns: everything still in the entanglement zone goes home.
 	if len(plan.Steps) > 0 {
 		last := &plan.Steps[len(plan.Steps)-1]
-		sol, err := pl.solveReturns(last, nil, nil)
+		sol, err := pl.solveReturns(last, nil, nil, pl.scratch[0])
 		if err != nil {
 			return nil, err
 		}
@@ -212,63 +234,91 @@ type transitionSolution struct {
 // Under advanced reuse it retries with offending qubits banned from staying
 // until the in-zone movement graph is acyclic (cyclic trap swaps cannot be
 // realized by sequential rearrangement jobs).
-func (pl *planner) solveTransition(prev *Step, cur, next []circuit.Gate, useReuse bool) (transitionSolution, error) {
-	banned := map[int]bool{}
+func (pl *planner) solveTransition(prev *Step, cur, next []circuit.Gate, useReuse bool, sc *transitionScratch) (transitionSolution, error) {
+	for q := range sc.banned {
+		sc.banned[q] = false
+	}
 	for attempt := 0; ; attempt++ {
-		sol, err := pl.solveTransitionOnce(prev, cur, next, useReuse, banned)
+		sol, err := pl.solveTransitionOnce(prev, cur, next, useReuse, sc)
 		if err != nil {
 			return sol, err
 		}
-		q, cyclic := findMoveCycle(sol.movesIn)
+		q, cyclic := sc.findMoveCycle(pl.a, sol.movesIn)
 		if !cyclic || attempt >= 2*len(cur)+4 {
 			return sol, nil
 		}
-		banned[q] = true
+		sc.banned[q] = true
 	}
 }
 
 // findMoveCycle looks for a cycle in the trap-succession graph of in-zone
 // moves (move a feeds move b when a's target trap is b's source trap) and
-// returns one participating qubit.
-func findMoveCycle(moves []Move) (int, bool) {
-	bySource := map[Pos]int{} // source position → move index (zone moves only)
-	var zone []int
+// returns one participating qubit. Each move has at most one successor, so
+// the walk is an iterative chain traversal over a dense move-index table
+// and an []int8 color array instead of the recursive map-based search.
+func (sc *transitionScratch) findMoveCycle(a *arch.Architecture, moves []Move) (qubit int, cyclic bool) {
+	maxSlots := a.MaxSiteSlots()
+	sc.srcTouched = sc.srcTouched[:0]
+	sc.zoneMoves = sc.zoneMoves[:0]
 	for i, m := range moves {
 		if !m.From.InStorage {
-			bySource[m.From] = i
-			zone = append(zone, i)
+			key := a.SiteOrdinal(m.From.Site)*maxSlots + m.From.Slot
+			sc.moveAt[key] = int32(i)
+			sc.srcTouched = append(sc.srcTouched, key)
+			sc.zoneMoves = append(sc.zoneMoves, i)
 		}
 	}
-	state := map[int]int{} // 0 unvisited, 1 in-stack, 2 done
-	var walk func(i int) (int, bool)
-	walk = func(i int) (int, bool) {
-		state[i] = 1
-		if j, ok := bySource[moves[i].To]; ok && j != i {
-			switch state[j] {
-			case 1:
+	defer func() {
+		for _, k := range sc.srcTouched {
+			sc.moveAt[k] = -1
+		}
+	}()
+	if cap(sc.mstate) < len(moves) {
+		sc.mstate = make([]int8, len(moves))
+	}
+	sc.mstate = sc.mstate[:len(moves)]
+	for i := range sc.mstate {
+		sc.mstate[i] = 0
+	}
+	succ := func(i int) int {
+		to := moves[i].To
+		if to.InStorage {
+			return -1
+		}
+		j := sc.moveAt[a.SiteOrdinal(to.Site)*maxSlots+to.Slot]
+		if j < 0 || int(j) == i {
+			return -1
+		}
+		return int(j)
+	}
+	for _, start := range sc.zoneMoves {
+		if sc.mstate[start] != 0 {
+			continue
+		}
+		sc.mpath = sc.mpath[:0]
+		cur := start
+		for {
+			sc.mstate[cur] = 1
+			sc.mpath = append(sc.mpath, cur)
+			j := succ(cur)
+			if j < 0 || sc.mstate[j] == 2 {
+				break
+			}
+			if sc.mstate[j] == 1 {
 				return moves[j].Qubit, true
-			case 0:
-				if q, found := walk(j); found {
-					return q, true
-				}
 			}
+			cur = j
 		}
-		state[i] = 2
-		return 0, false
-	}
-	for _, i := range zone {
-		if state[i] == 0 {
-			if q, found := walk(i); found {
-				return q, true
-			}
+		for _, i := range sc.mpath {
+			sc.mstate[i] = 2
 		}
 	}
 	return 0, false
 }
 
-// solveTransitionOnce performs one placement attempt with the given set of
-// qubits banned from advanced staying.
-func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, useReuse bool, banned map[int]bool) (transitionSolution, error) {
+// solveTransitionOnce performs one placement attempt with the scratch's
+// banned set excluding qubits from advanced staying.
+func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, useReuse bool, sc *transitionScratch) (transitionSolution, error) {
 	a := pl.a
 	sol := transitionSolution{
 		sites:  make([]arch.SiteRef, len(cur)),
@@ -277,22 +327,28 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 	}
 
 	// 1. Reuse matching against the previous stage.
-	reuseOf := make([]int, len(cur))
-	for j := range reuseOf {
-		reuseOf[j] = -1
+	sc.reuseOf = sc.reuseOf[:0]
+	for range cur {
+		sc.reuseOf = append(sc.reuseOf, -1)
 	}
+	reuseOf := sc.reuseOf
 	if useReuse && prev != nil {
 		reuseOf = reuseMatch(prev.Gates, cur)
 	}
-	reserved := map[arch.SiteRef]bool{}
-	stay := map[int]bool{} // qubits that keep their site
+	for i := range sc.reserved {
+		sc.reserved[i] = false
+	}
+	for q := range sc.stay {
+		sc.stay[q] = false
+	}
+	stay := sc.stay // qubits that keep their site
 	for j, pi := range reuseOf {
 		if pi < 0 {
 			continue
 		}
 		sol.reused[j] = true
 		sol.sites[j] = prev.Sites[pi]
-		reserved[prev.Sites[pi]] = true
+		sc.reserved[a.SiteOrdinal(prev.Sites[pi])] = true
 		for _, q := range cur[j].Qubits {
 			for _, pq := range prev.Gates[pi].Qubits {
 				if q == pq {
@@ -303,14 +359,15 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 	}
 	// Advanced reuse (§X): every zone-resident qubit the current stage
 	// needs skips the storage round trip and moves directly between sites
-	// (unless banned by the caller to break a trap-dependency cycle). Their
-	// current sites are held until they vacate, so foreign gates must not
-	// target those sites within the same movement phase.
-	held := map[arch.SiteRef][]int{}
+	// (unless banned to break a trap-dependency cycle). Their current sites
+	// are held until they vacate, so foreign gates must not target those
+	// sites within the same movement phase.
+	var held map[arch.SiteRef][]int
 	if useReuse && pl.opts.AdvancedReuse && prev != nil {
+		held = map[arch.SiteRef][]int{}
 		for _, g := range cur {
 			for _, q := range g.Qubits {
-				if !pl.pos[q].InStorage && !banned[q] {
+				if !pl.pos[q].InStorage && !sc.banned[q] {
 					stay[q] = true
 				}
 			}
@@ -328,19 +385,23 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 	// before the moves into the current stage, so gate placement and
 	// moves-in below must see post-return positions.
 	if prev != nil {
-		returns, err := pl.solveReturns(prev, stay, cur)
+		returns, err := pl.solveReturns(prev, stay, cur, sc)
 		if err != nil {
 			return sol, err
 		}
 		sol.movesOut = returns
 	}
-	posView := append([]Pos(nil), pl.pos...)
+	sc.posView = append(sc.posView[:0], pl.pos...)
+	posView := sc.posView
 	for _, m := range sol.movesOut {
 		posView[m.Qubit] = m.To
 	}
 
 	// 3. Provisional lookahead matching cur → next for the §V-B2 cost term.
-	lookahead := map[int]int{}
+	sc.lookahead = sc.lookahead[:0]
+	for range cur {
+		sc.lookahead = append(sc.lookahead, -1)
+	}
 	if useReuse && len(next) > 0 {
 		la := reuseMatch(cur, next)
 		for nj, cj := range la {
@@ -350,25 +411,25 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 			// partner = the qubit of next[nj] not shared with cur[cj]
 			for _, q := range next[nj].Qubits {
 				if q != cur[cj].Qubits[0] && q != cur[cj].Qubits[1] {
-					lookahead[cj] = q
+					sc.lookahead[cj] = int32(q)
 				}
 			}
 		}
 	}
 
 	// 4. Gate placement for non-reused gates.
-	var gateIdx []int
+	sc.gateIdx = sc.gateIdx[:0]
 	for j := range cur {
 		if !sol.reused[j] {
-			gateIdx = append(gateIdx, j)
+			sc.gateIdx = append(sc.gateIdx, j)
 		}
 	}
-	assign, _, err := gatePlacement(a, cur, gateIdx, posView, reserved, held, lookahead, pl.opts.Expansion)
+	assign, _, err := gatePlacement(a, cur, sc.gateIdx, posView, sc.lookahead, held, pl.opts.Expansion, sc)
 	if err != nil {
 		return sol, err
 	}
-	for j, s := range assign {
-		sol.sites[j] = s
+	for k, j := range sc.gateIdx {
+		sol.sites[j] = assign[k]
 	}
 
 	// 5. Slot assignment and moves-in (from post-return positions). A qubit
@@ -379,7 +440,7 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 	// Remaining qubits take the free slots left-to-right by current x
 	// position, for any site arity (multi-trap sites, §III).
 	for j, g := range cur {
-		sol.slots[j] = assignSlots(a, g.Qubits, posView, sol.sites[j])
+		sol.slots[j] = assignSlots(a, g.Qubits, posView, sol.sites[j], sc)
 		for k, q := range g.Qubits {
 			target := SitePos(sol.sites[j], sol.slots[j][k])
 			if !posView[q].SameLocation(target) {
@@ -401,29 +462,32 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 // assignSlots maps a gate's qubits to site slots: qubits already at the
 // site keep their slot; the rest take the free slots in ascending order,
 // matched to qubits in ascending current-x order.
-func assignSlots(a *arch.Architecture, qubits []int, pos []Pos, site arch.SiteRef) []int {
+func assignSlots(a *arch.Architecture, qubits []int, pos []Pos, site arch.SiteRef, sc *transitionScratch) []int {
 	slots := make([]int, len(qubits))
-	taken := map[int]bool{}
-	pending := make([]int, 0, len(qubits)) // indices into qubits
+	for i := range sc.slotTaken {
+		sc.slotTaken[i] = false
+	}
+	sc.pending = sc.pending[:0] // indices into qubits
 	for k, q := range qubits {
 		if !pos[q].InStorage && pos[q].Site == site {
 			slots[k] = pos[q].Slot
-			taken[pos[q].Slot] = true
+			sc.slotTaken[pos[q].Slot] = true
 		} else {
-			pending = append(pending, k)
+			sc.pending = append(sc.pending, k)
 		}
 	}
 	// Order pending qubits by current x.
+	pending := sc.pending
 	sort.Slice(pending, func(i, j int) bool {
 		return pos[qubits[pending[i]]].Point(a).X < pos[qubits[pending[j]]].Point(a).X
 	})
 	next := 0
 	for _, k := range pending {
-		for taken[next] {
+		for sc.slotTaken[next] {
 			next++
 		}
 		slots[k] = next
-		taken[next] = true
+		sc.slotTaken[next] = true
 	}
 	return slots
 }
@@ -431,34 +495,37 @@ func assignSlots(a *arch.Architecture, qubits []int, pos []Pos, site arch.SiteRe
 // solveReturns computes the storage returns for every qubit of prev that is
 // not in the stay set, using dynamic matching (§V-B3) or the static home
 // trap, with cur (the upcoming stage) defining related qubits.
-func (pl *planner) solveReturns(prev *Step, stay map[int]bool, cur []circuit.Gate) ([]Move, error) {
+func (pl *planner) solveReturns(prev *Step, stay []bool, cur []circuit.Gate, sc *transitionScratch) ([]Move, error) {
 	a := pl.a
-	var leaving []int
+	sc.leaving = sc.leaving[:0]
 	for _, g := range prev.Gates {
 		for _, q := range g.Qubits {
-			if !stay[q] && !pl.pos[q].InStorage {
-				leaving = append(leaving, q)
+			if (stay == nil || !stay[q]) && !pl.pos[q].InStorage {
+				sc.leaving = append(sc.leaving, q)
 			}
 		}
 	}
+	leaving := sc.leaving
 	if len(leaving) == 0 {
 		return nil, nil
 	}
-	related := map[int]int{}
+	for q := range sc.related {
+		sc.related[q] = -1
+	}
 	for _, g := range cur {
 		q1, q2 := g.Qubits[0], g.Qubits[1]
-		related[q1] = q2
-		related[q2] = q1
+		sc.related[q1] = int32(q2)
+		sc.related[q2] = int32(q1)
 	}
 
 	var moves []Move
 	if pl.opts.Dynamic {
-		assign, _, err := returnPlacement(a, leaving, pl.pos, pl.home, related, pl.occupied, pl.opts.KNeighbors, pl.opts.Alpha)
+		assign, _, err := returnPlacement(a, leaving, pl.pos, pl.home, sc.related, pl.occ, pl.opts.KNeighbors, pl.opts.Alpha, sc)
 		if err != nil {
 			return nil, err
 		}
-		for _, q := range leaving {
-			moves = append(moves, Move{Qubit: q, From: pl.pos[q], To: StoragePos(assign[q])})
+		for i, q := range leaving {
+			moves = append(moves, Move{Qubit: q, From: pl.pos[q], To: StoragePos(assign[i])})
 		}
 	} else {
 		for _, q := range leaving {
@@ -477,7 +544,7 @@ func (pl *planner) commit(prev *Step, sol transitionSolution) {
 	}
 	for _, m := range sol.movesIn {
 		if m.From.InStorage {
-			delete(pl.occupied, m.From.Trap)
+			pl.occ[pl.a.TrapOrdinal(m.From.Trap)] = -1
 		}
 		pl.pos[m.Qubit] = m.To
 	}
@@ -487,7 +554,7 @@ func (pl *planner) commit(prev *Step, sol transitionSolution) {
 func (pl *planner) applyReturns(moves []Move) {
 	for _, m := range moves {
 		pl.pos[m.Qubit] = m.To
-		pl.occupied[m.To.Trap] = m.Qubit
+		pl.occ[pl.a.TrapOrdinal(m.To.Trap)] = m.Qubit
 		pl.home[m.Qubit] = m.To.Trap
 	}
 }

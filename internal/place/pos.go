@@ -67,19 +67,50 @@ func moveCost(a *arch.Architecture, from, to geom.Point) float64 {
 // multi-trap Rydberg sites, §III): qubits sharing an SLM row are picked up
 // by one AOD row and move in parallel (max of their √distances); distinct
 // rows move sequentially (costs add). For two qubits this is exactly Eq. 1.
+// Rows are accumulated in first-appearance order (no map), which keeps the
+// sum deterministic and the hot path allocation-free.
 func gateCost(a *arch.Architecture, site geom.Point, qubits ...geom.Point) float64 {
-	rowMax := map[float64]float64{}
+	if len(qubits) == 2 {
+		return gateCost2(a, site, qubits[0], qubits[1])
+	}
+	ys := make([]float64, 0, 8)
+	maxes := make([]float64, 0, 8)
 	for _, p := range qubits {
 		c := moveCost(a, p, site)
-		if c > rowMax[p.Y] {
-			rowMax[p.Y] = c
+		found := false
+		for i, y := range ys {
+			if y == p.Y {
+				if c > maxes[i] {
+					maxes[i] = c
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			ys = append(ys, p.Y)
+			maxes = append(maxes, c)
 		}
 	}
 	total := 0.0
-	for _, c := range rowMax {
+	for _, c := range maxes {
 		total += c
 	}
 	return total
+}
+
+// gateCost2 is gateCost specialized to the two-qubit CZ case the placement
+// hot loops evaluate millions of times: no variadic slice, no row map.
+func gateCost2(a *arch.Architecture, site, p1, p2 geom.Point) float64 {
+	c1 := moveCost(a, p1, site)
+	c2 := moveCost(a, p2, site)
+	if p1.Y == p2.Y {
+		if c2 > c1 {
+			return c2
+		}
+		return c1
+	}
+	return c1 + c2
 }
 
 // centroid returns the mean of the points.
@@ -124,8 +155,13 @@ func nearSiteForQubits(a *arch.Architecture, pts []geom.Point) arch.SiteRef {
 // live in different entanglement zones, the site nearer to the pair's
 // midpoint wins.
 func nearSiteForGate(a *arch.Architecture, p1, p2 geom.Point) arch.SiteRef {
-	s1 := a.NearestSite(p1)
-	s2 := a.NearestSite(p2)
+	return nearSiteFromNearest(a, a.NearestSite(p1), a.NearestSite(p2), p1, p2)
+}
+
+// nearSiteFromNearest is nearSiteForGate with the per-qubit NearestSite
+// lookups already resolved — the SA state caches them per trap ordinal so
+// the annealing loop skips the zone scan entirely.
+func nearSiteFromNearest(a *arch.Architecture, s1, s2 arch.SiteRef, p1, p2 geom.Point) arch.SiteRef {
 	if s1.Zone == s2.Zone {
 		return arch.SiteRef{
 			Zone: s1.Zone,

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# bench-compare.sh [ref]
+#
+# Runs the ISSUE 3 placement micro-benchmarks (BenchmarkJVDense,
+# BenchmarkJVSparse, BenchmarkSAInitial, BenchmarkBuildPlan) on the working
+# tree and on a baseline git ref (default: HEAD), then emits BENCH_3.json
+# with ns/op, B/op and allocs/op per benchmark plus current-vs-baseline
+# speedups. Benchmarks missing at the ref (e.g. a pre-PR-3 tree) simply
+# yield no baseline entry.
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 5x)
+#   BENCH_OUT  output path (default BENCH_3.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REF="${1:-HEAD}"
+BENCHTIME="${BENCHTIME:-5x}"
+OUT="${BENCH_OUT:-BENCH_3.json}"
+PATTERN='BenchmarkJVDense|BenchmarkJVSparse|BenchmarkSAInitial|BenchmarkBuildPlan'
+PKGS="./internal/matching ./internal/place"
+
+run_bench() { # run_bench <dir> <out.tsv> [allow-fail]
+  # allow-fail is only for the baseline ref, which may predate the
+  # benchmarks; a failure on the current tree must abort the script.
+  local dir="$1" out="$2" allow="${3:-}" raw
+  raw="$(mktemp)"
+  if ! (cd "$dir" && go test -run xxx -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS) > "$raw" 2>&1; then
+    if [ -z "$allow" ]; then
+      cat "$raw" >&2
+      rm -f "$raw"
+      echo "bench-compare: benchmarks failed in $dir" >&2
+      exit 1
+    fi
+    echo "bench-compare: baseline benchmarks unavailable in $dir (ok)" >&2
+  fi
+  awk '/^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = "null"; bop = "null"; aop = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+      }
+      print name "\t" ns "\t" bop "\t" aop
+    }' "$raw" > "$out"
+  rm -f "$raw"
+}
+
+CUR_TSV="$(mktemp)"
+REF_TSV="$(mktemp)"
+WORKDIR="$(mktemp -d)"
+WORKTREE="$WORKDIR/ref"
+cleanup() {
+  rm -f "$CUR_TSV" "$REF_TSV"
+  if [ -d "$WORKTREE" ]; then
+    git worktree remove --force "$WORKTREE" >/dev/null 2>&1 || true
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "bench-compare: current tree ($(git rev-parse --short HEAD)${REF:+, baseline $REF})" >&2
+run_bench . "$CUR_TSV"
+
+if git worktree add --detach "$WORKTREE" "$REF" >/dev/null 2>&1; then
+  run_bench "$WORKTREE" "$REF_TSV" allow-fail
+else
+  echo "bench-compare: cannot check out $REF; baseline omitted" >&2
+  : > "$REF_TSV"
+fi
+
+REF_SHA="$(git rev-parse "$REF" 2>/dev/null || echo unknown)"
+awk -v ref="$REF" -v refsha="$REF_SHA" -v benchtime="$BENCHTIME" '
+  function emit(file,   line, f, sep, out) {
+    sep = ""; out = ""
+    while ((getline line < file) > 0) {
+      split(line, f, "\t")
+      out = out sep sprintf("\n    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", f[1], f[2], f[3], f[4])
+      sep = ","
+    }
+    close(file)
+    return out
+  }
+  function speedups(curf, reff,   line, f, cur, out, sep) {
+    while ((getline line < curf) > 0) { split(line, f, "\t"); cur[f[1]] = f[2] }
+    close(curf)
+    sep = ""; out = ""
+    while ((getline line < reff) > 0) {
+      split(line, f, "\t")
+      if (f[1] in cur && cur[f[1]] + 0 > 0 && f[2] != "null") {
+        out = out sep sprintf("\n    \"%s\": %.2f", f[1], f[2] / cur[f[1]])
+        sep = ","
+      }
+    }
+    close(reff)
+    return out
+  }
+  BEGIN {
+    printf "{\n"
+    printf "  \"baseline_ref\": \"%s\",\n", ref
+    printf "  \"baseline_sha\": \"%s\",\n", refsha
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"current\": {%s\n  },\n", emit(ARGV[1])
+    printf "  \"baseline\": {%s\n  },\n", emit(ARGV[2])
+    printf "  \"speedup_vs_baseline\": {%s\n  }\n", speedups(ARGV[1], ARGV[2])
+    printf "}\n"
+  }
+' "$CUR_TSV" "$REF_TSV" > "$OUT"
+
+echo "bench-compare: wrote $OUT" >&2
+cat "$OUT"
