@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet doclint build test race bench bench-micro bench-compare serve-smoke
+.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress serve-smoke
 
 check: vet doclint build race
 
@@ -36,6 +36,11 @@ bench-micro:
 REF ?= HEAD
 bench-compare:
 	./scripts/bench-compare.sh $(REF)
+
+# Regression gate: rerun the micro-benchmarks, fail on >20% ns/op slowdown
+# vs the recorded BENCH_3.json numbers, and emit BENCH_4.json.
+bench-regress:
+	./scripts/bench-regress.sh
 
 # Boot zac-serve against a throwaway cache dir, probe /healthz, compile one
 # circuit, and check /metrics — the same smoke CI runs.

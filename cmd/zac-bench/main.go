@@ -12,8 +12,13 @@
 // experiment sweep, the easiest way to profile the compiler's hot path over
 // realistic workloads (see DESIGN.md, "Performance").
 //
+// With -compiler the run sweeps the named compiler-registry entries (ZAC
+// presets, baselines, SC routers) over the circuit subset instead of
+// reproducing a paper experiment.
+//
 //	zac-bench -experiment fig8
 //	zac-bench -experiment fig9 -circuits bv_n14,ghz_n23
+//	zac-bench -compiler zac,enola,nalac -circuits bv_n14,ghz_n23
 //	zac-bench -experiment all -csv out/
 //	zac-bench -experiment all -parallel 8 -progress
 //	zac-bench -experiment all -cachedir ~/.cache/zac
@@ -44,6 +49,7 @@ func main() {
 func run() int {
 	exp := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	compilers := flag.String("compiler", "", "comma-separated registry compilers to sweep instead of an experiment (e.g. zac,enola,nalac)")
 	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: full suite)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential)")
@@ -115,25 +121,52 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	emit := func(id string, tables []*experiments.Table) error {
+		for i, t := range tables {
+			fmt.Println(t.Render())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					return err
+				}
+				name := fmt.Sprintf("%s_%d.csv", id, i)
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if *compilers != "" {
+		// Registry sweep: compile the subset through the named compilers
+		// instead of reproducing a paper experiment. An explicit
+		// -experiment alongside it would be silently ignored, so reject
+		// the combination outright.
+		if *exp != "all" {
+			fmt.Fprintln(os.Stderr, "zac-bench: -compiler and -experiment are mutually exclusive (the sweep replaces the experiment run)")
+			return 1
+		}
+		tables, err := experiments.CompilerSweep(ctx, cfg, subset, strings.Split(*compilers, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: -compiler: %v\n", err)
+			return 1
+		}
+		if err := emit("compilers", tables); err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
+			return 1
+		}
+		ids = nil
+	}
+
 	for _, id := range ids {
 		tables, err := experiments.RunWith(ctx, cfg, id, subset)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zac-bench: %s: %v\n", id, err)
 			return 1
 		}
-		for i, t := range tables {
-			fmt.Println(t.Render())
-			if *csvDir != "" {
-				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-					fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
-					return 1
-				}
-				name := fmt.Sprintf("%s_%d.csv", id, i)
-				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
-					return 1
-				}
-			}
+		if err := emit(id, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
+			return 1
 		}
 	}
 	if *progress || *cacheDir != "" {

@@ -9,10 +9,16 @@
 // cache directory zac-serve and zac-bench use), so re-verifying unchanged
 // programs is free.
 //
+// With -selfcheck a built-in benchmark is compiled in-process through the
+// compiler registry (-compiler selects the ZAC preset) and the emitted
+// program is verified immediately — the end-to-end round trip without an
+// intermediate file.
+//
 //	zairsim -program bv.zair.json
 //	zairsim -program bv.zair.json -arch custom_arch.json
 //	zairsim -parallel 4 a.zair.json b.zair.json c.zair.json
 //	zairsim -cachedir ~/.cache/zac big.zair.json
+//	zairsim -selfcheck ghz_n23 -compiler zac-dynplace
 package main
 
 import (
@@ -25,10 +31,13 @@ import (
 	"strings"
 
 	"zac/internal/arch"
+	"zac/internal/bench"
+	"zac/internal/compiler"
 	"zac/internal/core"
 	"zac/internal/engine"
 	"zac/internal/fidelity"
 	"zac/internal/geom"
+	"zac/internal/resynth"
 	"zac/internal/zair"
 )
 
@@ -37,6 +46,8 @@ func main() {
 	archPath := flag.String("arch", "", "architecture JSON (default: reference architecture)")
 	parallel := flag.Int("parallel", 0, "worker pool size for multiple programs (0 = all CPUs)")
 	cacheDir := flag.String("cachedir", "", "persistent report-cache directory shared with zac-serve and zac-bench")
+	selfcheck := flag.String("selfcheck", "", "compile this built-in benchmark through the compiler registry and verify the emitted program in-process")
+	compilerName := flag.String("compiler", "zac", "registry compiler for -selfcheck (must emit ZAIR: zac, zac-vanilla, zac-dynplace, zac-dynplace-reuse)")
 	flag.Parse()
 
 	cache := engine.NewTiered(0)
@@ -52,8 +63,8 @@ func main() {
 	if *programPath != "" {
 		paths = append([]string{*programPath}, paths...)
 	}
-	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "zairsim: -program FILE (or positional FILEs) required")
+	if len(paths) == 0 && *selfcheck == "" {
+		fmt.Fprintln(os.Stderr, "zairsim: -program FILE (or positional FILEs, or -selfcheck BENCH) required")
 		os.Exit(2)
 	}
 
@@ -67,6 +78,18 @@ func main() {
 		if err := json.Unmarshal(raw, a); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *selfcheck != "" {
+		out, err := runSelfcheck(*selfcheck, *compilerName, a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		if len(paths) == 0 {
+			return
+		}
+		fmt.Println()
 	}
 
 	reports, err := engine.Map(context.Background(), *parallel, len(paths), func(i int) (string, error) {
@@ -91,6 +114,40 @@ func main() {
 		}
 		fmt.Print(r)
 	}
+}
+
+// runSelfcheck compiles a built-in benchmark through the compiler registry
+// and verifies the emitted ZAIR program in-process, returning the report
+// prefixed with the compiler that produced it.
+func runSelfcheck(benchName, compilerName string, a *arch.Architecture) (string, error) {
+	comp, err := compiler.Get(compilerName)
+	if err != nil {
+		return "", err
+	}
+	b, err := bench.ByName(benchName)
+	if err != nil {
+		return "", err
+	}
+	staged, err := resynth.Preprocess(b.Build())
+	if err != nil {
+		return "", err
+	}
+	res, err := comp.Compile(context.Background(), staged, a, compiler.Options{})
+	if err != nil {
+		return "", err
+	}
+	if len(res.Program.Instructions) == 0 {
+		return "", fmt.Errorf("compiler %s emits no ZAIR instruction stream; pick a zac-family compiler", comp.Name())
+	}
+	data, err := json.MarshalIndent(res.Program, "", " ")
+	if err != nil {
+		return "", err
+	}
+	rep, err := report("selfcheck:"+benchName, data, a)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("selfcheck:        %s via %s\n%s", benchName, comp.Name(), rep), nil
 }
 
 // report verifies and evaluates one program, returning its printable report.

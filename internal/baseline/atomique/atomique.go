@@ -152,7 +152,17 @@ func Compile(staged *circuit.Staged, a *arch.Architecture) (*Result, error) {
 			sort.Slice(keys, func(i, j int) bool {
 				di := math.Hypot(keys[i].dx-curDX, keys[i].dy-curDY)
 				dj := math.Hypot(keys[j].dx-curDX, keys[j].dy-curDY)
-				return di < dj
+				if di != dj {
+					return di < dj
+				}
+				// Tie-break equidistant displacements on coordinates: the
+				// keys come out of a map, so without this the visit order —
+				// and with it the modeled movement time — would vary run to
+				// run.
+				if keys[i].dx != keys[j].dx {
+					return keys[i].dx < keys[j].dx
+				}
+				return keys[i].dy < keys[j].dy
 			})
 			for _, k := range keys {
 				arrayMove(k.dx, k.dy)

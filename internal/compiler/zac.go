@@ -1,0 +1,47 @@
+package compiler
+
+import (
+	"context"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/core"
+)
+
+// zacCompiler wraps the core pass pipeline under one ablation preset of the
+// paper's Fig. 11 legend.
+type zacCompiler struct {
+	name    string
+	setting string
+}
+
+// Name returns the canonical registry name ("zac", "zac-vanilla", …).
+func (z *zacCompiler) Name() string { return z.name }
+
+// Compile runs the standard pipeline with the preset's options (or the
+// caller's override), memoizing the placement artifact in opts.Artifacts so
+// repeated compilations of the same circuit share one plan.
+func (z *zacCompiler) Compile(ctx context.Context, staged *circuit.Staged, a *arch.Architecture, opts Options) (*core.Result, error) {
+	co := core.OptionsFor(z.setting)
+	if opts.Core != nil {
+		co = *opts.Core
+	}
+	var hooks core.Hooks
+	if opts.Artifacts != nil && opts.Key != "" {
+		hooks.MemoPlan = opts.Artifacts.memoPlan(opts.Key, a, co.Place)
+	}
+	return core.Standard().Run(ctx, staged, a, co, hooks)
+}
+
+// Setting returns the core ablation preset a zac-family registry name maps
+// to, and whether name belongs to the zac family at all. Harness code uses
+// it to keep preset-specific cache keys unified with the Fig. 11 ablation
+// study.
+func Setting(name string) (string, bool) {
+	if c, err := Get(name); err == nil {
+		if z, ok := c.(*zacCompiler); ok {
+			return z.setting, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/fidelity"
+	"zac/internal/place"
+	"zac/internal/schedule"
+)
+
+// PassTiming records one executed pipeline pass: its name, its wall-clock
+// duration, and whether its artifact was served from a pass-level cache
+// instead of being computed.
+type PassTiming struct {
+	Pass     string        `json:"pass"`
+	Duration time.Duration `json:"duration_ns"`
+	Cached   bool          `json:"cached,omitempty"`
+}
+
+// PassState is the mutable compilation state threaded through one pipeline
+// run. Each pass reads the fields earlier passes populated and fills in its
+// own; the emit pass assembles Result from them.
+type PassState struct {
+	Arch   *arch.Architecture
+	Staged *circuit.Staged
+	Opts   Options
+	Hooks  Hooks
+
+	Plan   *place.Plan
+	Sched  *schedule.Result
+	Result *Result
+
+	start  time.Time
+	cached bool
+}
+
+// MarkCached flags the currently executing pass as served from a cache; the
+// pipeline records it in the pass timing and resets the flag between passes.
+func (st *PassState) MarkCached() { st.cached = true }
+
+// MemoPlanFunc wraps the place pass with pass-granular memoization: an
+// implementation may return a previously computed plan for the same
+// (circuit, architecture, options) triple, or invoke compute — passing the
+// context through so cancellation reaches the placement kernel — and share
+// the result with concurrent and future callers. The bool reports a cache
+// hit.
+type MemoPlanFunc func(ctx context.Context, compute func(context.Context) (*place.Plan, error)) (*place.Plan, bool, error)
+
+// Hooks customizes pass execution without changing the pass chain. The zero
+// value computes everything in place.
+type Hooks struct {
+	// MemoPlan, when non-nil, memoizes the place pass (see MemoPlanFunc).
+	MemoPlan MemoPlanFunc
+}
+
+// Pass is one named stage of the compilation pipeline.
+type Pass struct {
+	Name string
+	Run  func(ctx context.Context, st *PassState) error
+}
+
+// Pipeline is an ordered chain of named passes over a shared PassState,
+// instrumented with per-pass wall-clock timings and cancellable between
+// passes (and, through BuildPlan and schedule.Build, within the expensive
+// ones).
+type Pipeline struct {
+	passes []Pass
+}
+
+// NewPipeline builds a pipeline from the given passes, run in order.
+func NewPipeline(passes ...Pass) *Pipeline { return &Pipeline{passes: passes} }
+
+// Standard returns ZAC's pass chain (paper §IV):
+// validate → place → schedule → emit → fidelity.
+func Standard() *Pipeline {
+	return NewPipeline(ValidatePass(), PlacePass(), SchedulePass(), EmitPass(), FidelityPass())
+}
+
+// ValidatePass checks the architecture and the staged circuit before any
+// expensive work.
+func ValidatePass() Pass {
+	return Pass{Name: "validate", Run: func(ctx context.Context, st *PassState) error {
+		if err := st.Arch.Validate(); err != nil {
+			return err
+		}
+		return st.Staged.Validate()
+	}}
+}
+
+// PlacePass runs reuse-aware placement (§V), optionally through the
+// MemoPlan hook so the plan artifact is computed once and shared.
+func PlacePass() Pass {
+	return Pass{Name: "place", Run: func(ctx context.Context, st *PassState) error {
+		build := func(ctx context.Context) (*place.Plan, error) {
+			return place.BuildPlan(ctx, st.Arch, st.Staged, st.Opts.Place)
+		}
+		if st.Hooks.MemoPlan != nil {
+			plan, cached, err := st.Hooks.MemoPlan(ctx, build)
+			if err != nil {
+				return err
+			}
+			if cached {
+				st.MarkCached()
+			}
+			st.Plan = plan
+			return nil
+		}
+		plan, err := build(ctx)
+		if err != nil {
+			return err
+		}
+		st.Plan = plan
+		return nil
+	}}
+}
+
+// SchedulePass runs load-balancing scheduling (§VI), turning the plan into
+// a timed ZAIR program.
+func SchedulePass() Pass {
+	return Pass{Name: "schedule", Run: func(ctx context.Context, st *PassState) error {
+		sched, err := schedule.Build(ctx, st.Arch, st.Staged, st.Plan)
+		if err != nil {
+			return err
+		}
+		st.Sched = sched
+		return nil
+	}}
+}
+
+// EmitPass assembles the Result from the plan and schedule. CompileTime is
+// stamped here, so it covers validation, placement and scheduling but not
+// the fidelity evaluation — the same span the pre-pipeline compiler
+// measured.
+func EmitPass() Pass {
+	return Pass{Name: "emit", Run: func(ctx context.Context, st *PassState) error {
+		st.Result = &Result{
+			Program:          st.Sched.Program,
+			Plan:             st.Plan,
+			Staged:           st.Staged,
+			Stats:            st.Sched.Stats,
+			Duration:         st.Sched.Stats.Duration,
+			CompileTime:      time.Since(st.start),
+			NumRydbergStages: st.Staged.NumRydbergStages(),
+			NumJobs:          st.Sched.NumJobs,
+			ReusedGates:      st.Plan.TotalReused(),
+			TotalMoves:       st.Plan.TotalMoves(),
+		}
+		return nil
+	}}
+}
+
+// FidelityPass evaluates the compiled program under the paper's fidelity
+// model (§VII-B).
+func FidelityPass() Pass {
+	return Pass{Name: "fidelity", Run: func(ctx context.Context, st *PassState) error {
+		st.Result.Breakdown = fidelity.Compute(ParamsFromArch(st.Arch), st.Result.Stats)
+		return nil
+	}}
+}
+
+// Run executes the pipeline over an already-preprocessed staged circuit and
+// returns the compiled Result with one PassTiming per pass. The context is
+// checked between passes and plumbed into placement and scheduling, so an
+// abandoned compilation stops mid-pass instead of running to completion.
+func (p *Pipeline) Run(ctx context.Context, staged *circuit.Staged, a *arch.Architecture, opts Options, hooks Hooks) (*Result, error) {
+	st := &PassState{Arch: a, Staged: staged, Opts: opts, Hooks: hooks, start: time.Now()}
+	timings := make([]PassTiming, 0, len(p.passes))
+	for _, pass := range p.passes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st.cached = false
+		t0 := time.Now()
+		if err := pass.Run(ctx, st); err != nil {
+			return nil, fmt.Errorf("%s pass: %w", pass.Name, err)
+		}
+		timings = append(timings, PassTiming{Pass: pass.Name, Duration: time.Since(t0), Cached: st.cached})
+	}
+	if st.Result == nil {
+		return nil, fmt.Errorf("core: pipeline has no emit pass")
+	}
+	st.Result.Passes = timings
+	return st.Result, nil
+}

@@ -27,6 +27,7 @@ type Snapshot struct {
 	NumJobs          int                `json:"rearrange_jobs"`
 	ReusedGates      int                `json:"reused_gates"`
 	TotalMoves       int                `json:"moves"`
+	Passes           []PassTiming       `json:"passes,omitempty"`
 }
 
 // SnapshotOf extracts the persistable subset of r.
@@ -36,6 +37,7 @@ func SnapshotOf(r *Result) *Snapshot {
 		Duration: r.Duration, CompileTime: r.CompileTime,
 		NumRydbergStages: r.NumRydbergStages, NumJobs: r.NumJobs,
 		ReusedGates: r.ReusedGates, TotalMoves: r.TotalMoves,
+		Passes: r.Passes,
 	}
 }
 
@@ -46,6 +48,7 @@ func (s *Snapshot) Result() *Result {
 		Duration: s.Duration, CompileTime: s.CompileTime,
 		NumRydbergStages: s.NumRydbergStages, NumJobs: s.NumJobs,
 		ReusedGates: s.ReusedGates, TotalMoves: s.TotalMoves,
+		Passes: s.Passes,
 	}
 }
 

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"zac/internal/arch"
@@ -14,7 +15,6 @@ import (
 	"zac/internal/fidelity"
 	"zac/internal/place"
 	"zac/internal/resynth"
-	"zac/internal/schedule"
 	"zac/internal/zair"
 )
 
@@ -65,6 +65,11 @@ type Result struct {
 	NumJobs          int
 	ReusedGates      int
 	TotalMoves       int
+
+	// Passes holds the per-pass wall-time instrumentation of the pipeline
+	// run that produced this result (nil for results predating the pipeline
+	// in an old disk cache).
+	Passes []PassTiming
 }
 
 // ParamsFromArch converts an architecture's hardware numbers into fidelity
@@ -87,34 +92,10 @@ func Compile(c *circuit.Circuit, a *arch.Architecture, opts Options) (*Result, e
 	return CompileStaged(staged, a, opts)
 }
 
-// CompileStaged compiles an already-preprocessed staged circuit.
+// CompileStaged compiles an already-preprocessed staged circuit by running
+// the standard pass pipeline (validate → place → schedule → emit →
+// fidelity) without cancellation or pass memoization. Callers needing
+// either use Standard().Run directly (the compiler registry does).
 func CompileStaged(staged *circuit.Staged, a *arch.Architecture, opts Options) (*Result, error) {
-	start := time.Now()
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	plan, err := place.BuildPlan(a, staged, opts.Place)
-	if err != nil {
-		return nil, err
-	}
-	sched, err := schedule.Build(a, staged, plan)
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-
-	res := &Result{
-		Program:          sched.Program,
-		Plan:             plan,
-		Staged:           staged,
-		Stats:            sched.Stats,
-		Duration:         sched.Stats.Duration,
-		CompileTime:      elapsed,
-		NumRydbergStages: staged.NumRydbergStages(),
-		NumJobs:          sched.NumJobs,
-		ReusedGates:      plan.TotalReused(),
-		TotalMoves:       plan.TotalMoves(),
-	}
-	res.Breakdown = fidelity.Compute(ParamsFromArch(a), res.Stats)
-	return res, nil
+	return Standard().Run(context.Background(), staged, a, opts, Hooks{})
 }

@@ -54,11 +54,46 @@ type Tiered struct {
 	misses   atomic.Uint64
 }
 
-// flight is one in-progress computation; waiters block on ready.
+// flight is one in-progress computation; waiters block on ready. The
+// computation runs under its own context, cancelled only when every caller
+// interested in the result has cancelled — one client abandoning a shared
+// compilation must not fail the others.
 type flight struct {
 	ready chan struct{}
 	val   any
 	err   error
+
+	cancel  context.CancelFunc
+	mu      sync.Mutex
+	waiters int
+}
+
+// join registers one more caller interested in the flight's result. It
+// refuses (returning false) when the flight is moribund — every previous
+// caller cancelled, so its computation is already being torn down and a
+// new caller must start its own instead of inheriting the cancellation.
+func (f *flight) join() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.waiters == 0 {
+		return false
+	}
+	f.waiters++
+	return true
+}
+
+// leave deregisters a caller that gave up waiting; the last one to leave
+// cancels the computation. waiters only reaches zero through
+// cancellation — normal completion never decrements — so waiters == 0 is
+// the moribund marker join checks.
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	f.mu.Unlock()
+	if last {
+		f.cancel()
+	}
 }
 
 // memEntry is a completed result resident in the LRU front.
@@ -86,6 +121,19 @@ func (t *Tiered) Disk() *DiskCache { return t.disk.Load() }
 // share its result, counting as memory hits; values restored from the disk
 // tier count as disk hits.
 func (t *Tiered) Do(key string, codec *Codec, compute func() (any, error)) (any, error) {
+	return t.DoCtx(context.Background(), key, codec, func(context.Context) (any, error) { return compute() })
+}
+
+// DoCtx is Do with caller-aware cancellation. compute receives a context
+// that is cancelled only when every caller sharing the computation has
+// cancelled: the originator's disconnect does not fail waiters that joined
+// the flight, and a waiter's cancellation returns its own ctx error while
+// the computation keeps running for the rest. Cancelled results are never
+// memoized, so the next caller recomputes.
+func (t *Tiered) DoCtx(ctx context.Context, key string, codec *Codec, compute func(ctx context.Context) (any, error)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.mu.Lock()
 	if v, ok := t.mem.Get(key); ok {
 		t.mu.Unlock()
@@ -93,15 +141,25 @@ func (t *Tiered) Do(key string, codec *Codec, compute func() (any, error)) (any,
 		e := v.(memEntry)
 		return e.val, e.err
 	}
-	if f, ok := t.inflight[key]; ok {
+	if f, ok := t.inflight[key]; ok && f.join() {
 		t.mu.Unlock()
 		t.memHits.Add(1)
-		<-f.ready
-		return f.val, f.err
+		select {
+		case <-f.ready:
+			return f.val, f.err
+		case <-ctx.Done():
+			f.leave()
+			return nil, ctx.Err()
+		}
 	}
-	f := &flight{ready: make(chan struct{})}
+	// No shareable computation in flight — none at all, or a moribund one
+	// whose callers all cancelled. Start our own, replacing any dead map
+	// entry (finish only deletes the entry it installed).
+	computeCtx, cancel := context.WithCancel(context.Background())
+	f := &flight{ready: make(chan struct{}), cancel: cancel, waiters: 1}
 	t.inflight[key] = f
 	t.mu.Unlock()
+	defer cancel()
 
 	disk := t.Disk()
 	if disk != nil && codec != nil {
@@ -117,8 +175,21 @@ func (t *Tiered) Do(key string, codec *Codec, compute func() (any, error)) (any,
 		}
 	}
 
+	// Relay the originator's cancellation through the waiter refcount: if
+	// it fires while others still want the result, the computation — which
+	// runs on the originator's goroutine — continues for them.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			f.leave()
+		case <-watchDone:
+		}
+	}()
+
 	t.misses.Add(1)
-	v, err := compute()
+	v, err := compute(computeCtx)
+	close(watchDone)
 	if err == nil && disk != nil && codec != nil {
 		if data, encErr := codec.Encode(v); encErr == nil {
 			disk.Put(key, data) // best effort; a failed write only costs a future recompute
@@ -138,7 +209,11 @@ func (t *Tiered) finish(key string, f *flight, v any, err error) {
 	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		t.mem.Put(key, memEntry{val: v, err: err})
 	}
-	delete(t.inflight, key)
+	// A moribund flight may already have been replaced by a fresh one;
+	// only remove the entry this computation installed.
+	if t.inflight[key] == f {
+		delete(t.inflight, key)
+	}
 	t.mu.Unlock()
 	close(f.ready)
 }
@@ -196,6 +271,16 @@ func (t *Tiered) Stats() TieredStats {
 // GetTiered is the typed wrapper over Do.
 func GetTiered[T any](t *Tiered, key string, codec *Codec, compute func() (T, error)) (T, error) {
 	v, err := t.Do(key, codec, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// GetTieredCtx is the typed wrapper over DoCtx.
+func GetTieredCtx[T any](t *Tiered, ctx context.Context, key string, codec *Codec, compute func(ctx context.Context) (T, error)) (T, error) {
+	v, err := t.DoCtx(ctx, key, codec, func(ctx context.Context) (any, error) { return compute(ctx) })
 	if err != nil {
 		var zero T
 		return zero, err

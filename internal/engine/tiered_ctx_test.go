@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestDoCtxOriginatorCancelDoesNotPoisonWaiter pins the refcounted flight
+// contract: when the request that started a computation cancels while a
+// second request is waiting on the same key, the computation keeps running
+// (its context stays live) and the waiter gets the result.
+func TestDoCtxOriginatorCancelDoesNotPoisonWaiter(t *testing.T) {
+	tc := NewTiered(0)
+	ctxA, cancelA := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var valA, valB any
+	var errA, errB error
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		valA, errA = tc.DoCtx(ctxA, "k", nil, func(ctx context.Context) (any, error) {
+			close(started)
+			<-release
+			// The originator has cancelled by now, but the waiter keeps the
+			// flight alive: the compute context must not be cancelled.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return 42, nil
+		})
+	}()
+
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		valB, errB = tc.DoCtx(context.Background(), "k", nil, func(context.Context) (any, error) {
+			t.Error("waiter recomputed instead of joining the flight")
+			return nil, nil
+		})
+	}()
+
+	// Give the waiter time to join the in-flight computation, then cancel
+	// the originator and let the compute finish.
+	for tc.Stats().MemHits == 0 {
+		runtime.Gosched()
+	}
+	cancelA()
+	close(release)
+	wg.Wait()
+
+	if errA != nil || valA != 42 {
+		t.Errorf("originator got (%v, %v), want (42, nil)", valA, errA)
+	}
+	if errB != nil || valB != 42 {
+		t.Errorf("waiter got (%v, %v), want (42, nil)", valB, errB)
+	}
+}
+
+// TestDoCtxAllCallersCancelStopsCompute pins the other half: when every
+// interested caller has cancelled, the compute context fires and the
+// cancellation is not memoized.
+func TestDoCtxAllCallersCancelStopsCompute(t *testing.T) {
+	tc := NewTiered(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = tc.DoCtx(ctx, "k", nil, func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done() // must fire once the sole caller cancels
+			return nil, ctx.Err()
+		})
+	}()
+	<-started
+	cancel()
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// The cancellation must not be memoized: a fresh call recomputes.
+	v, err := tc.DoCtx(context.Background(), "k", nil, func(context.Context) (any, error) { return "fresh", nil })
+	if err != nil || v != "fresh" {
+		t.Fatalf("retry got (%v, %v), want (fresh, nil)", v, err)
+	}
+}
+
+// TestDoCtxWaiterCancelReturnsOwnError pins that a waiter abandoning a
+// shared computation gets its own context error immediately while the
+// originator still completes.
+func TestDoCtxWaiterCancelReturnsOwnError(t *testing.T) {
+	tc := NewTiered(0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	done := make(chan struct{})
+	var valA any
+	var errA error
+	go func() {
+		defer close(done)
+		valA, errA = tc.DoCtx(context.Background(), "k", nil, func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "slow", nil
+		})
+	}()
+	<-started
+
+	ctxB, cancelB := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := tc.DoCtx(ctxB, "k", nil, func(context.Context) (any, error) {
+			t.Error("waiter recomputed instead of joining the flight")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	for tc.Stats().MemHits == 0 {
+		runtime.Gosched()
+	}
+	cancelB()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	<-done
+	if errA != nil || valA != "slow" {
+		t.Fatalf("originator got (%v, %v), want (slow, nil)", valA, errA)
+	}
+}

@@ -45,7 +45,7 @@ func AdvReuse(ctx context.Context, cfg Config, subset []string) ([]*Table, error
 	}
 	results, err := mapRows(ctx, cfg, len(benches)*len(variants), func(k int) (*core.Result, error) {
 		b, v := benches[k/len(variants)], variants[k%len(variants)]
-		r, err := cachedZAC(cfg, b, a, v.optKey, v.opts)
+		r, err := cachedZAC(ctx, cfg, b, a, v.optKey, v.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +129,7 @@ func Sweep(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 		c, b := groups[tk.g].cfgs[tk.c], benches[tk.b]
 		o := place.Default()
 		c.mut(&o)
-		r, err := cachedZAC(cfg, b, a, "sweep|"+c.name, core.Options{Place: o})
+		r, err := cachedZAC(ctx, cfg, b, a, "sweep|"+c.name, core.Options{Place: o})
 		if err != nil {
 			return 0, err
 		}

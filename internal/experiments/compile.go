@@ -1,79 +1,40 @@
 package experiments
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"time"
 
 	"zac/internal/arch"
-	"zac/internal/baseline/atomique"
-	"zac/internal/baseline/enola"
-	"zac/internal/baseline/nalac"
 	"zac/internal/bench"
 	"zac/internal/circuit"
+	"zac/internal/compiler"
 	"zac/internal/core"
-	"zac/internal/engine"
 	"zac/internal/fidelity"
 	"zac/internal/place"
 	"zac/internal/resynth"
-	"zac/internal/sc"
 )
 
-// naResult is the common evaluation shape of the neutral-atom and
-// superconducting compilers: fidelity breakdown, circuit duration, and the
-// wall-clock compile time (measured once, at the compilation that populated
-// the cache entry).
+// naResult is the common evaluation shape the experiment tables consume:
+// fidelity breakdown, circuit duration, and the wall-clock compile time
+// (measured once, at the compilation that populated the cache entry).
 type naResult struct {
 	breakdown fidelity.Breakdown
 	duration  float64 // µs
 	compile   time.Duration
 }
 
-// naResultWire is naResult's exported mirror for the disk tier.
-type naResultWire struct {
-	Breakdown fidelity.Breakdown `json:"breakdown"`
-	Duration  float64            `json:"duration_us"`
-	Compile   time.Duration      `json:"compile_ns"`
-}
-
-// naCodec persists naResult values in the disk tier.
-var naCodec = &engine.Codec{
-	Encode: func(v any) ([]byte, error) {
-		r, ok := v.(naResult)
-		if !ok {
-			return nil, fmt.Errorf("experiments: naCodec cannot encode %T", v)
-		}
-		return json.Marshal(naResultWire{r.breakdown, r.duration, r.compile})
-	},
-	Decode: func(data []byte) (any, error) {
-		var w naResultWire
-		if err := json.Unmarshal(data, &w); err != nil {
-			return nil, err
-		}
-		return naResult{w.Breakdown, w.Duration, w.Compile}, nil
-	},
+// toNA projects a unified compiler result onto the table shape.
+func toNA(r *core.Result) naResult {
+	return naResult{breakdown: r.Breakdown, duration: r.Duration, compile: r.CompileTime}
 }
 
 // cachedStaged preprocesses a benchmark (resynthesis to {CZ,U3} + ASAP
 // staging) and splits oversized Rydberg stages to the architecture's site
-// capacity. The cached instance is shared by every compiler; compilers only
-// read it.
+// capacity, through the registry's shared pass-artifact cache: every
+// compiler asking for the same shaping reads one instance.
 func cachedStaged(cfg Config, b bench.Benchmark, split *arch.Architecture) (*circuit.Staged, error) {
-	key := "staged|" + b.Name + "|split=" + split.Fingerprint()
-	return cachedDisk(cfg, key, engine.JSONCodec[*circuit.Staged](), func() (*circuit.Staged, error) {
-		staged, err := resynth.Preprocess(b.Build())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		return circuit.SplitRydbergStages(staged, split.TotalSites()), nil
-	})
-}
-
-// cachedFlat preprocesses a benchmark without stage splitting — the input
-// shape of the superconducting router.
-func cachedFlat(cfg Config, b bench.Benchmark) (*circuit.Staged, error) {
-	key := "flat|" + b.Name
-	return cachedDisk(cfg, key, engine.JSONCodec[*circuit.Staged](), func() (*circuit.Staged, error) {
+	return cfg.artifacts().Staged(b.Name, split.TotalSites(), func() (*circuit.Staged, error) {
 		staged, err := resynth.Preprocess(b.Build())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -82,19 +43,38 @@ func cachedFlat(cfg Config, b bench.Benchmark) (*circuit.Staged, error) {
 	})
 }
 
-// cachedZAC compiles a benchmark with the ZAC compiler under the given
-// option preset. optKey must uniquely identify opts — the ablation setting
-// name, a sweep configuration label, or "advReuse". Results persist to the
-// disk tier as core.Snapshot, so an entry restored after a restart has nil
-// Plan and Staged; consumers needing the plan use cachedPlan.
-func cachedZAC(cfg Config, b bench.Benchmark, a *arch.Architecture, optKey string, opts core.Options) (*core.Result, error) {
+// cachedFlat preprocesses a benchmark without stage splitting — the input
+// shape of the superconducting routers.
+func cachedFlat(cfg Config, b bench.Benchmark) (*circuit.Staged, error) {
+	return cfg.artifacts().Staged(b.Name, 0, func() (*circuit.Staged, error) {
+		staged, err := resynth.Preprocess(b.Build())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		return staged, nil
+	})
+}
+
+// cachedZAC compiles a benchmark with a ZAC-family registry compiler under
+// the given option preset. optKey must uniquely identify opts — the
+// ablation setting name, a sweep configuration label, or "advReuse".
+// Results persist to the disk tier as core.Snapshot, so an entry restored
+// after a restart has nil Plan and Staged; consumers needing the plan use
+// cachedPlan.
+func cachedZAC(ctx context.Context, cfg Config, b bench.Benchmark, a *arch.Architecture, optKey string, opts core.Options) (*core.Result, error) {
 	key := "zac|" + b.Name + "|arch=" + a.Fingerprint() + "|opt=" + optKey
 	return cachedDisk(cfg, key, core.ResultCodec(), func() (*core.Result, error) {
 		staged, err := cachedStaged(cfg, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.CompileStaged(staged, a, opts)
+		zc, err := compiler.Get("zac")
+		if err != nil {
+			return nil, err
+		}
+		r, err := zc.Compile(ctx, staged, a, compiler.Options{
+			Key: b.Name, Artifacts: cfg.artifacts(), Core: &opts,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/zac: %w", b.Name, err)
 		}
@@ -105,20 +85,27 @@ func cachedZAC(cfg Config, b bench.Benchmark, a *arch.Architecture, optKey strin
 // cachedZACNativeCCZ is the native-CCZ variant of cachedZAC: the benchmark
 // is preprocessed with PreprocessNativeCCZ and compiled on the three-trap
 // architecture.
-func cachedZACNativeCCZ(cfg Config, b bench.Benchmark, a *arch.Architecture) (*core.Result, error) {
+func cachedZACNativeCCZ(ctx context.Context, cfg Config, b bench.Benchmark, a *arch.Architecture) (*core.Result, error) {
 	key := "zacccz|" + b.Name + "|arch=" + a.Fingerprint()
 	return cachedDisk(cfg, key, core.ResultCodec(), func() (*core.Result, error) {
-		staged, err := cachedDisk(cfg, "stagedccz|"+b.Name+"|split="+a.Fingerprint(), engine.JSONCodec[*circuit.Staged](), func() (*circuit.Staged, error) {
+		staged, err := cfg.artifacts().Staged("ccz|"+b.Name, a.TotalSites(), func() (*circuit.Staged, error) {
 			native, err := resynth.PreprocessNativeCCZ(b.Build())
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
 			}
-			return circuit.SplitRydbergStages(native, a.TotalSites()), nil
+			return native, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.CompileStaged(staged, a, core.Default())
+		zc, err := compiler.Get("zac")
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Default()
+		r, err := zc.Compile(ctx, staged, a, compiler.Options{
+			Key: "ccz|" + b.Name, Artifacts: cfg.artifacts(), Core: &opts,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/zac-ccz: %w", b.Name, err)
 		}
@@ -127,126 +114,107 @@ func cachedZACNativeCCZ(cfg Config, b bench.Benchmark, a *arch.Architecture) (*c
 }
 
 // cachedPlan rebuilds (and memoizes, memory-only) the full-ZAC placement
-// plan for a benchmark. It exists for consumers of cachedZAC results that
-// need the Plan after a disk-tier restore, where only the core.Snapshot
-// subset survives.
-func cachedPlan(cfg Config, b bench.Benchmark, a *arch.Architecture) (*place.Plan, error) {
-	key := "zacplan|" + b.Name + "|arch=" + a.Fingerprint()
-	return cached(cfg, key, func() (*place.Plan, error) {
-		staged, err := cachedStaged(cfg, b, a)
+// plan for a benchmark through the same pass-artifact cache the registry's
+// zac compiler uses, so a plan computed during compilation is shared here
+// and vice versa. It exists for consumers of cachedZAC results that need
+// the Plan after a disk-tier restore, where only the core.Snapshot subset
+// survives.
+func cachedPlan(ctx context.Context, cfg Config, b bench.Benchmark, a *arch.Architecture) (*place.Plan, error) {
+	staged, err := cachedStaged(cfg, b, a)
+	if err != nil {
+		return nil, err
+	}
+	plan, _, err := cfg.artifacts().Plan(ctx, b.Name, a, staged, core.Default().Place)
+	if err != nil {
+		return nil, fmt.Errorf("%s/zac-plan: %w", b.Name, err)
+	}
+	return plan, nil
+}
+
+// evalCompiler compiles one benchmark with one registry compiler under the
+// paper's evaluation setup: the compiler's default target architecture, and
+// staged input split to the zoned reference capacity (the shaping every
+// neutral-atom column shares) unless the compiler opts out. ZAC-family
+// names route through cachedZAC so their cache entries unify with the
+// Fig. 11 ablation study.
+func evalCompiler(ctx context.Context, cfg Config, name string, b bench.Benchmark) (naResult, error) {
+	c, err := compiler.Get(name)
+	if err != nil {
+		return naResult{}, err
+	}
+	if setting, ok := compiler.Setting(c.Name()); ok {
+		r, err := cachedZAC(ctx, cfg, b, arch.Reference(), setting, core.OptionsFor(setting))
+		if err != nil {
+			return naResult{}, err
+		}
+		return toNA(r), nil
+	}
+	// StageSplitCap is the registry-wide shaping rule; for the baselines it
+	// is exactly the zoned reference capacity cachedStaged splits to, so
+	// the staged artifact is shared with the ZAC columns.
+	var split *arch.Architecture
+	if compiler.StageSplitCap(c) > 0 {
+		split = arch.Reference()
+	}
+	return evalCompilerOn(ctx, cfg, name, b, split, compiler.TargetArch(c))
+}
+
+// evalCompilerOn compiles one benchmark with one registry compiler under an
+// explicit setup: split is the architecture whose site capacity bounds the
+// staged circuit's Rydberg stages (nil = flat, no splitting) and target is
+// the architecture compiled for. Results persist to the disk tier as
+// core.Snapshot.
+func evalCompilerOn(ctx context.Context, cfg Config, name string, b bench.Benchmark, split, target *arch.Architecture) (naResult, error) {
+	c, err := compiler.Get(name)
+	if err != nil {
+		return naResult{}, err
+	}
+	splitLabel := "none"
+	if split != nil {
+		splitLabel = split.Fingerprint()
+	}
+	key := fmt.Sprintf("compile|%s|%s|split=%s|arch=%s", c.Name(), b.Name, splitLabel, target.Fingerprint())
+	r, err := cachedDisk(cfg, key, core.ResultCodec(), func() (*core.Result, error) {
+		var staged *circuit.Staged
+		var err error
+		if split != nil {
+			staged, err = cachedStaged(cfg, b, split)
+		} else {
+			staged, err = cachedFlat(cfg, b)
+		}
 		if err != nil {
 			return nil, err
 		}
-		plan, err := place.BuildPlan(a, staged, core.Default().Place)
+		r, err := c.Compile(ctx, staged, target, compiler.Options{Key: b.Name, Artifacts: cfg.artifacts()})
 		if err != nil {
-			return nil, fmt.Errorf("%s/zac-plan: %w", b.Name, err)
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, c.Name(), err)
 		}
-		return plan, nil
+		return r, nil
 	})
+	if err != nil {
+		return naResult{}, err
+	}
+	return toNA(r), nil
 }
 
-// cachedNALAC compiles the staged circuit (split to the zoned architecture)
-// with the NALAC baseline.
-func cachedNALAC(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
-	key := "nalac|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
-	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
-		staged, err := cachedStaged(cfg, b, split)
-		if err != nil {
-			return naResult{}, err
-		}
-		t0 := time.Now()
-		r, err := nalac.Compile(staged, a)
-		if err != nil {
-			return naResult{}, fmt.Errorf("%s/nalac: %w", b.Name, err)
-		}
-		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
-	})
-}
-
-// cachedEnola compiles the staged circuit with the Enola baseline.
-func cachedEnola(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
-	key := "enola|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
-	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
-		staged, err := cachedStaged(cfg, b, split)
-		if err != nil {
-			return naResult{}, err
-		}
-		t0 := time.Now()
-		r, err := enola.Compile(staged, a)
-		if err != nil {
-			return naResult{}, fmt.Errorf("%s/enola: %w", b.Name, err)
-		}
-		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
-	})
-}
-
-// cachedAtomique compiles the staged circuit with the Atomique baseline.
-func cachedAtomique(cfg Config, b bench.Benchmark, split, a *arch.Architecture) (naResult, error) {
-	key := "atomique|" + b.Name + "|split=" + split.Fingerprint() + "|arch=" + a.Fingerprint()
-	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
-		staged, err := cachedStaged(cfg, b, split)
-		if err != nil {
-			return naResult{}, err
-		}
-		t0 := time.Now()
-		r, err := atomique.Compile(staged, a)
-		if err != nil {
-			return naResult{}, fmt.Errorf("%s/atomique: %w", b.Name, err)
-		}
-		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
-	})
-}
-
-// cachedSC compiles the benchmark on one of the two superconducting
-// platforms (ColSCHeron or ColSCGrid).
-func cachedSC(cfg Config, b bench.Benchmark, col string) (naResult, error) {
-	key := "sc|" + b.Name + "|" + col
-	return cachedDisk(cfg, key, naCodec, func() (naResult, error) {
-		staged, err := cachedFlat(cfg, b)
-		if err != nil {
-			return naResult{}, err
-		}
-		var (
-			g *sc.Coupling
-			p fidelity.Params
-		)
-		switch col {
-		case ColSCHeron:
-			g, p = sc.HeavyHex127(), fidelity.SCHeron()
-		case ColSCGrid:
-			g, p = sc.Grid(11, 11), fidelity.SCGrid()
-		default:
-			return naResult{}, fmt.Errorf("experiments: unknown SC column %q", col)
-		}
-		t0 := time.Now()
-		r, err := sc.Compile(staged, g, p)
-		if err != nil {
-			return naResult{}, fmt.Errorf("%s/%s: %w", b.Name, col, err)
-		}
-		return naResult{r.Breakdown, r.Duration, time.Since(t0)}, nil
-	})
+// colCompilers maps the paper's column legends onto registry names.
+var colCompilers = map[string]string{
+	ColZAC:      "zac",
+	ColNALAC:    "nalac",
+	ColEnola:    "enola",
+	ColAtomique: "atomique",
+	ColSCHeron:  "sc-heron",
+	ColSCGrid:   "sc-grid",
 }
 
 // evalCol evaluates one benchmark under one compiler column — the unit of
-// work the experiment runners fan out over the pool. The four neutral-atom
-// columns share the zoned-split staged circuit, exactly as the sequential
-// harness did.
-func evalCol(cfg Config, col string, b bench.Benchmark) (naResult, error) {
-	switch col {
-	case ColZAC:
-		r, err := cachedZAC(cfg, b, arch.Reference(), core.SettingSADynPlaceReuse, core.Default())
-		if err != nil {
-			return naResult{}, err
-		}
-		return naResult{r.Breakdown, r.Duration, r.CompileTime}, nil
-	case ColNALAC:
-		return cachedNALAC(cfg, b, arch.Reference(), arch.Reference())
-	case ColEnola:
-		return cachedEnola(cfg, b, arch.Reference(), arch.Monolithic())
-	case ColAtomique:
-		return cachedAtomique(cfg, b, arch.Reference(), arch.Monolithic())
-	case ColSCHeron, ColSCGrid:
-		return cachedSC(cfg, b, col)
+// work the experiment runners fan out over the pool. Every column resolves
+// through the compiler registry; the four neutral-atom columns share the
+// zoned-split staged circuit, exactly as the sequential harness did.
+func evalCol(ctx context.Context, cfg Config, col string, b bench.Benchmark) (naResult, error) {
+	name, ok := colCompilers[col]
+	if !ok {
+		return naResult{}, fmt.Errorf("experiments: unknown compiler column %q", col)
 	}
-	return naResult{}, fmt.Errorf("experiments: unknown compiler column %q", col)
+	return evalCompiler(ctx, cfg, name, b)
 }

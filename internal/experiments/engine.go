@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"zac/internal/compiler"
 	"zac/internal/engine"
 )
 
@@ -43,6 +44,21 @@ func (c Config) progressf(format string, args ...any) {
 // sized far above the full suite's entry count; attaching a disk tier with
 // SetCacheDir makes final results survive restarts as well.
 var compileCache = engine.NewTiered(8192)
+
+// compileArtifacts is the pass-artifact view of the process-wide cache:
+// staged circuits and placement plans computed once and shared across every
+// compiler the harness drives (the registry's replacement for the old
+// hand-rolled cachedStaged/cachedPlan sharing).
+var compileArtifacts = compiler.NewArtifacts(compileCache)
+
+// artifacts returns the shared pass-artifact cache, or nil when the config
+// opted out of caching (a nil Artifacts computes everything in place).
+func (c Config) artifacts() *compiler.Artifacts {
+	if c.NoCache {
+		return nil
+	}
+	return compileArtifacts
+}
 
 // cached routes a memory-only computation through the process-wide cache
 // unless the config opted out. Entries looked up this way are never written

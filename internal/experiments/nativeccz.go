@@ -39,14 +39,14 @@ func NativeCCZ(ctx context.Context, cfg Config, subset []string) ([]*Table, erro
 	results, err := mapRows(ctx, cfg, len(benches)*2, func(k int) (*core.Result, error) {
 		b, native := benches[k/2], k%2 == 1
 		if native {
-			r, err := cachedZACNativeCCZ(cfg, b, triple)
+			r, err := cachedZACNativeCCZ(ctx, cfg, b, triple)
 			if err != nil {
 				return nil, err
 			}
 			cfg.progressf("nativeccz: %s/native", b.Name)
 			return r, nil
 		}
-		r, err := cachedZAC(cfg, b, ref, core.SettingSADynPlaceReuse, core.Default())
+		r, err := cachedZAC(ctx, cfg, b, ref, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, err
 		}

@@ -45,7 +45,7 @@ func suite(subset []string) ([]bench.Benchmark, error) {
 func benchCols(ctx context.Context, cfg Config, exp string, benches []bench.Benchmark, cols []string) ([]map[string]naResult, error) {
 	flat, err := mapRows(ctx, cfg, len(benches)*len(cols), func(k int) (naResult, error) {
 		b, col := benches[k/len(cols)], cols[k%len(cols)]
-		r, err := evalCol(cfg, col, b)
+		r, err := evalCol(ctx, cfg, col, b)
 		if err != nil {
 			return naResult{}, err
 		}
@@ -97,7 +97,7 @@ func Fig1c(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	}
 	mono := arch.Monolithic()
 	rows, err := mapRows(ctx, cfg, len(benches), func(i int) (fidelity.Breakdown, error) {
-		r, err := cachedEnola(cfg, benches[i], mono, mono)
+		r, err := evalCompilerOn(ctx, cfg, "enola", benches[i], mono, mono)
 		if err != nil {
 			return fidelity.Breakdown{}, err
 		}
@@ -213,11 +213,11 @@ func Table2(ctx context.Context, cfg Config, subset []string) ([]*Table, error) 
 		sc  naResult
 	}
 	pairs, err := mapRows(ctx, cfg, len(benches), func(i int) (pair, error) {
-		zr, err := cachedZAC(cfg, benches[i], zoned, core.SettingSADynPlaceReuse, core.Default())
+		zr, err := cachedZAC(ctx, cfg, benches[i], zoned, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return pair{}, err
 		}
-		gr, err := cachedSC(cfg, benches[i], ColSCGrid)
+		gr, err := evalCompiler(ctx, cfg, "sc-grid", benches[i])
 		if err != nil {
 			return pair{}, err
 		}
@@ -278,7 +278,7 @@ func Fig11(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	a := arch.Reference()
 	vals, err := mapRows(ctx, cfg, len(benches)*len(ablationSettings), func(k int) (float64, error) {
 		b, s := benches[k/len(ablationSettings)], ablationSettings[k%len(ablationSettings)]
-		r, err := cachedZAC(cfg, b, a, s, core.OptionsFor(s))
+		r, err := cachedZAC(ctx, cfg, b, a, s, core.OptionsFor(s))
 		if err != nil {
 			return 0, fmt.Errorf("%s/%s: %w", b.Name, s, err)
 		}
@@ -335,14 +335,14 @@ func Fig12(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	cells, err := mapRows(ctx, cfg, len(rcs)*len(benches), func(k int) (cell, error) {
 		rc, b := rcs[k/len(benches)], benches[k%len(benches)]
 		if rc.setting != "" {
-			r, err := cachedZAC(cfg, b, a, rc.setting, core.OptionsFor(rc.setting))
+			r, err := cachedZAC(ctx, cfg, b, a, rc.setting, core.OptionsFor(rc.setting))
 			if err != nil {
 				return cell{}, err
 			}
 			cfg.progressf("fig12: %s/%s", b.Name, rc.label)
 			return cell{r.CompileTime.Seconds(), r.Breakdown.Total}, nil
 		}
-		r, err := evalCol(cfg, rc.col, b)
+		r, err := evalCol(ctx, cfg, rc.col, b)
 		if err != nil {
 			return cell{}, err
 		}
@@ -387,7 +387,7 @@ func Fig13(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := cachedZAC(cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
+		r, err := cachedZAC(ctx, cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, err
 		}
@@ -395,7 +395,7 @@ func Fig13(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 		if plan == nil {
 			// The result came back from the disk tier, which persists only
 			// the core.Snapshot subset; rebuild the (deterministic) plan.
-			plan, err = cachedPlan(cfg, b, a)
+			plan, err = cachedPlan(ctx, cfg, b, a)
 			if err != nil {
 				return nil, err
 			}
@@ -431,7 +431,7 @@ func Fig14(ctx context.Context, cfg Config, subset []string) ([]*Table, error) {
 	vals, err := mapRows(ctx, cfg, len(benches)*nAODs, func(k int) (float64, error) {
 		b, n := benches[k/nAODs], k%nAODs+1
 		a := arch.WithAODs(arch.Reference(), n)
-		r, err := cachedZAC(cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
+		r, err := cachedZAC(ctx, cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return 0, err
 		}
@@ -471,7 +471,7 @@ func MultiZone(ctx context.Context, cfg Config, subset []string) ([]*Table, erro
 	}
 	rows, err := mapRows(ctx, cfg, len(cases), func(i int) (map[string]float64, error) {
 		tc := cases[i]
-		r, err := cachedZAC(cfg, b, tc.a, core.SettingSADynPlaceReuse, core.Default())
+		r, err := cachedZAC(ctx, cfg, b, tc.a, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", tc.name, err)
 		}
@@ -532,7 +532,7 @@ func ZAIRStats(ctx context.Context, cfg Config, subset []string) ([]*Table, erro
 		if err != nil {
 			return nil, err
 		}
-		r, err := cachedZAC(cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
+		r, err := cachedZAC(ctx, cfg, b, a, core.SettingSADynPlaceReuse, core.Default())
 		if err != nil {
 			return nil, err
 		}

@@ -180,4 +180,5 @@ var runners = map[string]Runner{
 	"sweep":     Sweep,
 	"workloads": Workloads,
 	"nativeccz": NativeCCZ,
+	"compilers": Compilers,
 }

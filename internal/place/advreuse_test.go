@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"testing"
 
 	"zac/internal/arch"
@@ -33,7 +34,7 @@ func TestAdvancedReusePlansValidate(t *testing.T) {
 		"qftlike": qftLike(10),
 	} {
 		staged := mustStage(t, c)
-		plan, err := BuildPlan(a, staged, advOpts())
+		plan, err := BuildPlan(context.Background(), a, staged, advOpts())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -47,11 +48,11 @@ func TestAdvancedReuseReducesMoves(t *testing.T) {
 	a := arch.Reference()
 	staged := mustStage(t, qftLike(12))
 
-	base, err := BuildPlan(a, staged, Default())
+	base, err := BuildPlan(context.Background(), a, staged, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
-	adv, err := BuildPlan(a, staged, advOpts())
+	adv, err := BuildPlan(context.Background(), a, staged, advOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestAdvancedReuseReducesMoves(t *testing.T) {
 func TestAdvancedReuseEverythingReturnsAtEnd(t *testing.T) {
 	a := arch.Reference()
 	staged := mustStage(t, qftLike(10))
-	plan, err := BuildPlan(a, staged, advOpts())
+	plan, err := BuildPlan(context.Background(), a, staged, advOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestAdvancedReuseEverythingReturnsAtEnd(t *testing.T) {
 func TestAdvancedReuseMultiZone(t *testing.T) {
 	a := arch.Arch2TwoZones()
 	staged := mustStage(t, qftLike(14))
-	plan, err := BuildPlan(a, staged, advOpts())
+	plan, err := BuildPlan(context.Background(), a, staged, advOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,7 +53,7 @@ func BenchmarkBuildPlan(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := BuildPlan(a, staged, Default()); err != nil {
+				if _, err := BuildPlan(context.Background(), a, staged, Default()); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -213,7 +214,7 @@ func TestBuildPlanGHZValid(t *testing.T) {
 		{UseSA: false, Dynamic: true, Reuse: true},
 		Default(),
 	} {
-		plan, err := BuildPlan(a, staged, setting)
+		plan, err := BuildPlan(context.Background(), a, staged, setting)
 		if err != nil {
 			t.Fatalf("%+v: %v", setting, err)
 		}
@@ -229,11 +230,11 @@ func TestBuildPlanGHZValid(t *testing.T) {
 func TestBuildPlanReuseReducesMoves(t *testing.T) {
 	a := arch.Reference()
 	staged := mustStage(t, ghz(20))
-	noReuse, err := BuildPlan(a, staged, Options{Dynamic: true, Reuse: false})
+	noReuse, err := BuildPlan(context.Background(), a, staged, Options{Dynamic: true, Reuse: false})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withReuse, err := BuildPlan(a, staged, Options{Dynamic: true, Reuse: true})
+	withReuse, err := BuildPlan(context.Background(), a, staged, Options{Dynamic: true, Reuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestBuildPlanReuseReducesMoves(t *testing.T) {
 func TestBuildPlanParallelCircuit(t *testing.T) {
 	a := arch.Reference()
 	staged := mustStage(t, parallelPairs(20))
-	plan, err := BuildPlan(a, staged, Default())
+	plan, err := BuildPlan(context.Background(), a, staged, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestBuildPlanParallelCircuit(t *testing.T) {
 func TestBuildPlanStaticReturnsHome(t *testing.T) {
 	a := arch.Reference()
 	staged := mustStage(t, ghz(6))
-	plan, err := BuildPlan(a, staged, Options{Dynamic: false, Reuse: false})
+	plan, err := BuildPlan(context.Background(), a, staged, Options{Dynamic: false, Reuse: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestBuildPlanStaticReturnsHome(t *testing.T) {
 func TestBuildPlanMultiZone(t *testing.T) {
 	a := arch.Arch2TwoZones()
 	staged := mustStage(t, parallelPairs(24))
-	plan, err := BuildPlan(a, staged, Default())
+	plan, err := BuildPlan(context.Background(), a, staged, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestBuildPlanMultiZone(t *testing.T) {
 func TestBuildPlanSmallArch(t *testing.T) {
 	a := arch.Arch1Small()
 	staged := mustStage(t, parallelPairs(40))
-	plan, err := BuildPlan(a, staged, Default())
+	plan, err := BuildPlan(context.Background(), a, staged, Default())
 	if err != nil {
 		t.Fatal(err)
 	}

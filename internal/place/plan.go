@@ -121,9 +121,15 @@ type planner struct {
 	scratch [2]*transitionScratch
 }
 
-// BuildPlan runs the full placement pipeline (§V).
-func BuildPlan(a *arch.Architecture, staged *circuit.Staged, opts Options) (*Plan, error) {
+// BuildPlan runs the full placement pipeline (§V). The context is checked
+// between stage transitions, so a cancelled compilation stops mid-plan;
+// cancellation never alters the produced plan, only whether one is
+// produced.
+func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged, opts Options) (*Plan, error) {
 	opts.fill()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := staged.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,6 +166,9 @@ func BuildPlan(a *arch.Architecture, staged *circuit.Staged, opts Options) (*Pla
 	plan := &Plan{Arch: a, Staged: staged, NumQubits: staged.NumQubits, Initial: initial}
 	ryd := staged.RydbergStages()
 	for t, si := range ryd {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur := staged.Stages[si].Gates
 		var next []circuit.Gate
 		if t+1 < len(ryd) {
@@ -178,10 +187,12 @@ func BuildPlan(a *arch.Architecture, staged *circuit.Staged, opts Options) (*Pla
 			// error is authoritative, and the cheaper candidate wins.
 			var sols [2]transitionSolution
 			var errs [2]error
-			_ = engine.ForEach(context.Background(), 2, 2, func(i int) error {
+			if err := engine.ForEach(ctx, 2, 2, func(i int) error {
 				sols[i], errs[i] = pl.solveTransition(prev, cur, next, i == 0, pl.scratch[i])
 				return nil
-			})
+			}); err != nil {
+				return nil, err
+			}
 			if errs[0] != nil {
 				return nil, errs[0]
 			}

@@ -18,6 +18,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,13 +39,16 @@ type Result struct {
 	NumJobs int
 }
 
-// Build schedules the plan into a timed ZAIR program.
-func Build(a *arch.Architecture, staged *circuit.Staged, plan *place.Plan) (*Result, error) {
+// Build schedules the plan into a timed ZAIR program. The context is
+// checked between stages, so a cancelled compilation stops mid-schedule;
+// cancellation never alters the produced program, only whether one is
+// produced.
+func Build(ctx context.Context, a *arch.Architecture, staged *circuit.Staged, plan *place.Plan) (*Result, error) {
 	if len(a.AODs) == 0 {
 		return nil, fmt.Errorf("schedule: architecture has no AODs")
 	}
 	s := &scheduler{a: a, staged: staged, plan: plan}
-	return s.run()
+	return s.run(ctx)
 }
 
 type scheduler struct {
@@ -58,7 +62,7 @@ type scheduler struct {
 	jobs  int
 }
 
-func (s *scheduler) run() (*Result, error) {
+func (s *scheduler) run(ctx context.Context) (*Result, error) {
 	s.prog.Name = s.staged.Name
 	s.prog.NumQubits = s.staged.NumQubits
 	s.stats.Busy = make([]float64, s.staged.NumQubits)
@@ -73,6 +77,9 @@ func (s *scheduler) run() (*Result, error) {
 	// Walk stages; plan steps align with Rydberg stages in order.
 	stepIdx := 0
 	for si, st := range s.staged.Stages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		switch st.Kind {
 		case circuit.OneQStage:
 			s.emitOneQStage(st)

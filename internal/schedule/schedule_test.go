@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"testing"
 
 	"zac/internal/arch"
@@ -17,7 +18,7 @@ func compilePlan(t *testing.T, a *arch.Architecture, c *circuit.Circuit, opts pl
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := place.BuildPlan(a, staged, opts)
+	plan, err := place.BuildPlan(context.Background(), a, staged, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func (u *unknownLoc) Error() string {
 func TestBuildProducesValidProgram(t *testing.T) {
 	a := arch.Reference()
 	staged, plan := compilePlan(t, a, ghz(14), place.Default())
-	res, err := Build(a, staged, plan)
+	res, err := Build(context.Background(), a, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestBuildProducesValidProgram(t *testing.T) {
 func TestProgramTimesMonotonePerAOD(t *testing.T) {
 	a := arch.Reference()
 	staged, plan := compilePlan(t, a, pairs(16), place.Default())
-	res, err := Build(a, staged, plan)
+	res, err := Build(context.Background(), a, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestMultiAODShortensSchedule(t *testing.T) {
 	a1 := arch.Reference()
 	a2 := arch.WithAODs(arch.Reference(), 2)
 	staged, plan := compilePlan(t, a1, c, place.Default())
-	res1, err := Build(a1, staged, plan)
+	res1, err := Build(context.Background(), a1, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Build(a2, staged, plan)
+	res2, err := Build(context.Background(), a2, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestOneQGatesSequential(t *testing.T) {
 		c.Append(circuit.H, []int{q})
 	}
 	staged, plan := compilePlan(t, a, c, place.Default())
-	res, err := Build(a, staged, plan)
+	res, err := Build(context.Background(), a, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestOneQGatesSequential(t *testing.T) {
 func TestJobTimingIncludesTransfersAndMove(t *testing.T) {
 	a := arch.Reference()
 	staged, plan := compilePlan(t, a, ghz(4), place.Default())
-	res, err := Build(a, staged, plan)
+	res, err := Build(context.Background(), a, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestVerifierOnAllArchitectures(t *testing.T) {
 	for name, a := range cases {
 		t.Run(name, func(t *testing.T) {
 			staged, plan := compilePlan(t, a, pairs(24), place.Default())
-			res, err := Build(a, staged, plan)
+			res, err := Build(context.Background(), a, staged, plan)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -276,7 +277,7 @@ func TestVerifierWithAdvancedReuse(t *testing.T) {
 		}
 	}
 	staged, plan := compilePlan(t, a, qft, opts)
-	res, err := Build(a, staged, plan)
+	res, err := Build(context.Background(), a, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestVerifierWithAdvancedReuse(t *testing.T) {
 func TestRydbergPerZone(t *testing.T) {
 	a := arch.Arch2TwoZones()
 	staged, plan := compilePlan(t, a, pairs(30), place.Default())
-	res, err := Build(a, staged, plan)
+	res, err := Build(context.Background(), a, staged, plan)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,8 +23,14 @@ type CompileRequest struct {
 	Arch json.RawMessage `json:"arch,omitempty"`
 	// Setting is a compiler ablation preset (Vanilla | dynPlace |
 	// dynPlace+reuse | SA+dynPlace+reuse); empty selects the full ZAC
-	// configuration.
+	// configuration. Superseded by Compiler, kept for API compatibility.
 	Setting string `json:"setting,omitempty"`
+	// Compiler names a registry compiler (zac, zac-vanilla, zac-dynplace,
+	// zac-dynplace-reuse, enola, atomique, nalac, sc-heron, sc-grid; the
+	// Fig. 11 legend spellings are accepted as aliases). It overrides
+	// Setting and the request-level ?compiler= default; empty falls back to
+	// those, then to full ZAC.
+	Compiler string `json:"compiler,omitempty"`
 	// AODs overrides the architecture's AOD count when positive.
 	AODs int `json:"aods,omitempty"`
 }
@@ -48,7 +54,10 @@ type CompileResponse struct {
 	Name string `json:"name"`
 	// NumQubits is the circuit width.
 	NumQubits int `json:"num_qubits"`
-	// Setting echoes the compiler preset that was applied.
+	// Compiler is the canonical registry name of the compiler that ran.
+	Compiler string `json:"compiler"`
+	// Setting echoes the compiler preset that was applied (the ablation
+	// preset for ZAC-family compilers, the compiler name otherwise).
 	Setting string `json:"setting"`
 	// Fidelity is the paper's per-term fidelity decomposition.
 	Fidelity fidelity.Breakdown `json:"fidelity"`
@@ -97,12 +106,13 @@ type ErrorResponse struct {
 // JobStatus enumerates the lifecycle states of an async compilation job.
 type JobStatus string
 
-// The four job lifecycle states.
+// The five job lifecycle states.
 const (
-	JobPending JobStatus = "pending"
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	JobPending  JobStatus = "pending"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
 )
 
 // JobResponse is the body of GET /v1/jobs/{id} (and of the 202 returned for
@@ -129,12 +139,21 @@ type MetricsResponse struct {
 	CompilesTotal uint64 `json:"compiles_total"`
 	// InFlightCompiles is the number of compilations currently executing.
 	InFlightCompiles int64 `json:"inflight_compiles"`
-	// Cache reports the compilation cache hierarchy's counters.
+	// Cache reports the whole-compile cache hierarchy's counters.
 	Cache CacheMetrics `json:"cache"`
+	// PassCache reports the pass-artifact cache's counters: staged circuits
+	// and placement plans memoized at pass granularity and shared across
+	// compilers.
+	PassCache CacheMetrics `json:"pass_cache"`
 	// Jobs counts async jobs by status.
 	Jobs map[JobStatus]int `json:"jobs"`
-	// Compilers reports per-compiler-setting latency aggregates.
+	// Compilers reports per-compiler latency aggregates, keyed by registry
+	// name.
 	Compilers map[string]LatencyMetrics `json:"compilers"`
+	// Passes reports per-pass latency aggregates, keyed "compiler/pass"
+	// (e.g. "zac/place"). Only fresh compilations count; pass timings of
+	// cached results were recorded when they were computed.
+	Passes map[string]LatencyMetrics `json:"passes"`
 }
 
 // CacheMetrics is the cache section of MetricsResponse.

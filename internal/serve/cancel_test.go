@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestCompileCancelledNotPoisoned is the client-disconnect bugfix contract:
+// a cancelled request context reaches the pipeline and aborts the compile,
+// and the cancellation is not memoized — the next identical request
+// compiles successfully.
+func TestCompileCancelledNotPoisoned(t *testing.T) {
+	s := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := CompileRequest{Circuit: "bv_n14"}
+	if _, err := s.compileOne(ctx, req, "", false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	res, err := s.compileOne(context.Background(), req, "", false)
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if res.Cached {
+		t.Error("retry served a cached result; the cancellation was memoized")
+	}
+}
+
+// TestCompilerSelection exercises the registry seam end to end: the
+// ?compiler= query default, the per-request "compiler" field overriding it,
+// and the legacy "setting" field resolving through the alias table.
+func TestCompilerSelection(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	cases := []struct {
+		name, url, body string
+		wantCompiler    string
+		wantSetting     string
+	}{
+		{"query default", ts.URL + "/v1/compile?compiler=enola&zair=0", `{"circuit":"bv_n14"}`, "enola", "enola"},
+		{"field overrides query", ts.URL + "/v1/compile?compiler=enola&zair=0", `{"circuit":"bv_n14","compiler":"nalac"}`, "nalac", "nalac"},
+		{"setting alias", ts.URL + "/v1/compile?zair=0", `{"circuit":"bv_n14","setting":"dynPlace"}`, "zac-dynplace", "dynPlace"},
+		{"default zac", ts.URL + "/v1/compile?zair=0", `{"circuit":"bv_n14"}`, "zac", "SA+dynPlace+reuse"},
+	}
+	for _, tc := range cases {
+		status, body := do(t, "POST", tc.url, tc.body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status = %d: %s", tc.name, status, body)
+		}
+		var resp CompileResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Compiler != tc.wantCompiler || resp.Setting != tc.wantSetting {
+			t.Errorf("%s: compiler/setting = %s/%s, want %s/%s",
+				tc.name, resp.Compiler, resp.Setting, tc.wantCompiler, tc.wantSetting)
+		}
+	}
+}
+
+// TestJobCancel covers DELETE /v1/jobs/{id}: an async job cancelled right
+// after submission ends in the canceled state, its remaining compilations
+// stop, and the state survives job completion.
+func TestJobCancel(t *testing.T) {
+	// One worker so the queue drains slowly enough that the DELETE
+	// deterministically lands before the job finishes.
+	_, ts := newTestServer(t, Options{Parallel: 1})
+	req := `{"async":true,"requests":[
+		{"circuit":"qft_n18"},{"circuit":"ising_n42"},{"circuit":"wstate_n27"},
+		{"circuit":"ghz_n23"},{"circuit":"bv_n14"}
+	]}`
+	status, body := do(t, "POST", ts.URL+"/v1/compile?zair=0", req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", status, body)
+	}
+	var sub JobResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = do(t, "DELETE", ts.URL+"/v1/jobs/"+sub.ID, "")
+	if status != http.StatusOK {
+		t.Fatalf("cancel status = %d: %s", status, body)
+	}
+	var cancelled JobResponse
+	if err := json.Unmarshal(body, &cancelled); err != nil {
+		t.Fatal(err)
+	}
+	if cancelled.Status != JobCanceled {
+		t.Fatalf("status after DELETE = %s, want %s", cancelled.Status, JobCanceled)
+	}
+
+	// The job still drains (items finish as successes or cancellations) but
+	// the canceled state is final.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body = do(t, "GET", ts.URL+"/v1/jobs/"+sub.ID, "")
+		var jr JobResponse
+		if err := json.Unmarshal(body, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status != JobCanceled {
+			t.Fatalf("job left the canceled state: %s", jr.Status)
+		}
+		if jr.Completed == jr.Total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job never drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if status, _ := do(t, "DELETE", ts.URL+"/v1/jobs/job-999", ""); status != http.StatusNotFound {
+		t.Errorf("unknown job DELETE status = %d, want 404", status)
+	}
+}

@@ -1,21 +1,29 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 )
 
-// job tracks one async batch compilation.
+// job tracks one async batch compilation. Its context is cancelled by
+// DELETE /v1/jobs/{id}, which stops the remaining compilations mid-pass;
+// already-finished items keep their results.
 type job struct {
 	id    string
 	total int
 
 	completed atomic.Int32
 
-	mu      sync.Mutex
-	status  JobStatus
-	results []BatchItem
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   JobStatus
+	results  []BatchItem
+	canceled bool
 }
 
 // maxRetainedJobs bounds the job table: once exceeded, the oldest finished
@@ -30,7 +38,8 @@ func (s *Server) newJob(total int) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobSeq++
-	j := &job{id: fmt.Sprintf("job-%d", s.jobSeq), total: total, status: JobPending}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{id: fmt.Sprintf("job-%d", s.jobSeq), total: total, status: JobPending, ctx: ctx, cancel: cancel}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
 	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.jobOrder); {
@@ -40,7 +49,7 @@ func (s *Server) newJob(total int) *job {
 			continue
 		}
 		old.mu.Lock()
-		finished := old.status == JobDone || old.status == JobFailed
+		finished := old.status == JobDone || old.status == JobFailed || old.status == JobCanceled
 		old.mu.Unlock()
 		if !finished {
 			i++ // never drop a job still in flight
@@ -53,10 +62,13 @@ func (s *Server) newJob(total int) *job {
 }
 
 // runJob executes a job's batch in the background, tracking per-item
-// completion for pollers. The job ends JobDone unless every item failed.
-func (s *Server) runJob(j *job, batch []CompileRequest, includeZAIR bool) {
+// completion for pollers. The job ends JobDone unless every item failed, or
+// JobCanceled when a cancellation arrived before it finished.
+func (s *Server) runJob(j *job, batch []CompileRequest, defaultCompiler string, includeZAIR bool) {
 	j.mu.Lock()
-	j.status = JobRunning
+	if !j.canceled {
+		j.status = JobRunning
+	}
 	j.mu.Unlock()
 
 	items := make([]BatchItem, len(batch))
@@ -66,12 +78,7 @@ func (s *Server) runJob(j *job, batch []CompileRequest, includeZAIR bool) {
 		go func(i int) {
 			defer wg.Done()
 			defer j.completed.Add(1)
-			res, err := s.compileOne(batch[i], includeZAIR)
-			if err != nil {
-				items[i] = BatchItem{Error: err.Error()}
-				return
-			}
-			items[i] = BatchItem{Result: res}
+			items[i] = s.compileItem(j.ctx, batch[i], defaultCompiler, includeZAIR)
 		}(i)
 	}
 	wg.Wait()
@@ -84,12 +91,37 @@ func (s *Server) runJob(j *job, batch []CompileRequest, includeZAIR bool) {
 	}
 	j.mu.Lock()
 	j.results = items
-	if failed == len(items) && len(items) > 0 {
+	switch {
+	case j.canceled:
+		// keep JobCanceled; the per-item errors say which compilations the
+		// cancellation caught mid-flight
+	case failed == len(items) && len(items) > 0:
 		j.status = JobFailed
-	} else {
+	default:
 		j.status = JobDone
 	}
 	j.mu.Unlock()
+}
+
+// handleJobCancel serves DELETE /v1/jobs/{id}: it cancels the job's
+// context, stopping its remaining compilations mid-pass. Cancelling an
+// already-finished job is a no-op that reports the final state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	if j.status == JobPending || j.status == JobRunning {
+		j.status = JobCanceled
+		j.canceled = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.response())
 }
 
 // response snapshots the job for the API.

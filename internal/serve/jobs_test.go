@@ -12,7 +12,7 @@ func TestJobRetention(t *testing.T) {
 	const extra = 50
 	for i := 0; i < maxRetainedJobs+extra; i++ {
 		j := s.newJob(0)
-		s.runJob(j, nil, false) // finishes immediately (empty batch → done)
+		s.runJob(j, nil, "", false) // finishes immediately (empty batch → done)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,30 +1,40 @@
 package serve
 
-import "net/http"
+import (
+	"net/http"
+
+	"zac/internal/engine"
+)
 
 // handleMetrics serves GET /metrics: a machine-readable service snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
+// cacheMetrics projects tiered-cache counters onto the API shape.
+func cacheMetrics(st engine.TieredStats) CacheMetrics {
+	return CacheMetrics{
+		MemHits:     st.MemHits,
+		DiskHits:    st.DiskHits,
+		Misses:      st.Misses,
+		HitRate:     st.HitRate(),
+		MemEntries:  st.MemEntries,
+		DiskEntries: st.Disk.Entries,
+		DiskBytes:   st.Disk.Bytes,
+	}
+}
+
 // Metrics assembles the current MetricsResponse.
 func (s *Server) Metrics() MetricsResponse {
-	st := s.cache.Stats()
 	m := MetricsResponse{
 		RequestsTotal:    s.requests.Load(),
 		CompilesTotal:    s.compiles.Load(),
 		InFlightCompiles: s.inflight.Load(),
-		Cache: CacheMetrics{
-			MemHits:     st.MemHits,
-			DiskHits:    st.DiskHits,
-			Misses:      st.Misses,
-			HitRate:     st.HitRate(),
-			MemEntries:  st.MemEntries,
-			DiskEntries: st.Disk.Entries,
-			DiskBytes:   st.Disk.Bytes,
-		},
-		Jobs:      map[JobStatus]int{},
-		Compilers: map[string]LatencyMetrics{},
+		Cache:            cacheMetrics(s.cache.Stats()),
+		PassCache:        cacheMetrics(s.artifacts.Stats()),
+		Jobs:             map[JobStatus]int{},
+		Compilers:        map[string]LatencyMetrics{},
+		Passes:           map[string]LatencyMetrics{},
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -33,12 +43,20 @@ func (s *Server) Metrics() MetricsResponse {
 		m.Jobs[j.status]++
 		j.mu.Unlock()
 	}
-	for setting, agg := range s.latency {
-		lm := LatencyMetrics{Count: agg.count, TotalMS: agg.totalMS, MaxMS: agg.maxMS}
-		if agg.count > 0 {
-			lm.AvgMS = agg.totalMS / float64(agg.count)
-		}
-		m.Compilers[setting] = lm
+	for key, agg := range s.latency {
+		m.Compilers[key] = agg.metrics()
+	}
+	for key, agg := range s.passes {
+		m.Passes[key] = agg.metrics()
 	}
 	return m
+}
+
+// metrics renders one aggregate as the API shape.
+func (a *latencyAgg) metrics() LatencyMetrics {
+	lm := LatencyMetrics{Count: a.count, TotalMS: a.totalMS, MaxMS: a.maxMS}
+	if a.count > 0 {
+		lm.AvgMS = a.totalMS / float64(a.count)
+	}
+	return lm
 }

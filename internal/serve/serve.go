@@ -1,22 +1,34 @@
 // Package serve implements the zac-serve HTTP API: a long-running
 // compilation service that accepts OpenQASM programs (or built-in benchmark
-// names) plus JSON architecture specs, compiles them through the ZAC
-// pipeline with bounded concurrency, and returns the ZAIR program plus the
-// paper's fidelity breakdown as JSON. Results flow through the engine's
-// tiered cache (LRU memory front, optional content-addressed disk back
-// tier), so identical requests are served from cache — across restarts when
-// a cache directory is attached — and the emitted ZAIR is byte-identical to
-// the `zac -out` CLI encoding.
+// names) plus JSON architecture specs, compiles them through the compiler
+// registry — ZAC's ablation presets, the neutral-atom baselines, and the
+// superconducting routers all resolve by name — with bounded concurrency,
+// and returns the ZAIR program plus the paper's fidelity breakdown as JSON.
+// Results flow through the engine's tiered cache (LRU memory front,
+// optional content-addressed disk back tier), so identical requests are
+// served from cache — across restarts when a cache directory is attached —
+// and the emitted ZAIR is byte-identical to the `zac -out` CLI encoding.
+// Preprocessing and placement artifacts are additionally memoized at pass
+// granularity, shared across compilers.
+//
+// Request contexts propagate into the pass pipeline: when a client
+// disconnects mid-compile, the compilation stops at the next pass or stage
+// boundary instead of running to completion, and async jobs are cancellable
+// via DELETE /v1/jobs/{id}.
 //
 // Endpoints:
 //
-//	POST /v1/compile     single or batch compilation (async via "async":true)
-//	GET  /v1/jobs/{id}   poll an async job
-//	GET  /healthz        liveness probe
-//	GET  /metrics        cache hit rates, in-flight compiles, per-compiler latency
+//	POST   /v1/compile     single or batch compilation (async via "async":true);
+//	                       ?compiler= selects a registry compiler for the request
+//	GET    /v1/jobs/{id}   poll an async job
+//	DELETE /v1/jobs/{id}   cancel an async job
+//	GET    /healthz        liveness probe
+//	GET    /metrics        cache hit rates (whole-compile and pass-level),
+//	                       in-flight compiles, per-compiler and per-pass latency
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -28,9 +40,11 @@ import (
 	"zac/internal/arch"
 	"zac/internal/bench"
 	"zac/internal/circuit"
+	"zac/internal/compiler"
 	"zac/internal/core"
 	"zac/internal/engine"
 	"zac/internal/qasm"
+	"zac/internal/resynth"
 )
 
 // Options configures a Server. The zero value is serviceable: all-CPU
@@ -51,11 +65,13 @@ type Options struct {
 }
 
 // Server is the zac-serve request handler: a tiered compilation cache, a
+// pass-artifact cache shared across registry compilers, a
 // compile-concurrency semaphore, the async job table, and service counters.
 type Server struct {
-	opts  Options
-	cache *engine.Tiered
-	sem   chan struct{}
+	opts      Options
+	cache     *engine.Tiered
+	artifacts *compiler.Artifacts
+	sem       chan struct{}
 
 	requests atomic.Uint64
 	compiles atomic.Uint64
@@ -65,14 +81,15 @@ type Server struct {
 	jobs     map[string]*job
 	jobOrder []string // submission order, for retention eviction
 	jobSeq   int
-	latency  map[string]*latencyAgg
+	latency  map[string]*latencyAgg // per compiler
+	passes   map[string]*latencyAgg // per "compiler/pass"
 }
 
-// latencyAgg accumulates fresh-compilation wall-clock latency per setting.
+// latencyAgg accumulates fresh-compilation wall-clock latency per key.
 type latencyAgg struct {
-	count    uint64
-	totalMS  float64
-	maxMS    float64
+	count   uint64
+	totalMS float64
+	maxMS   float64
 }
 
 // New returns a Server ready to have Handler mounted.
@@ -87,12 +104,17 @@ func New(opts Options) *Server {
 	if opts.Disk != nil {
 		cache.SetDisk(opts.Disk)
 	}
+	// Pass artifacts (staged circuits, placement plans) stay memory-only:
+	// they hold pointer graphs the disk tier cannot represent, and they
+	// rebuild cheaply relative to a full compile.
 	return &Server{
-		opts:    opts,
-		cache:   cache,
-		sem:     make(chan struct{}, engine.Workers(opts.Parallel)),
-		jobs:    map[string]*job{},
-		latency: map[string]*latencyAgg{},
+		opts:      opts,
+		cache:     cache,
+		artifacts: compiler.NewArtifacts(engine.NewTiered(opts.MemEntries)),
+		sem:       make(chan struct{}, engine.Workers(opts.Parallel)),
+		jobs:      map[string]*job{},
+		latency:   map[string]*latencyAgg{},
+		passes:    map[string]*latencyAgg{},
 	}
 }
 
@@ -103,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -116,9 +139,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleCompile serves POST /v1/compile: a bare CompileRequest or a batch,
 // synchronous by default, async as a job with "async":true. Query parameter
-// zair=0 omits the ZAIR program from responses; format=zair (single
-// synchronous requests only) returns the bare ZAIR JSON, byte-identical to
-// `zac -out`.
+// compiler=NAME selects a registry compiler for every request that does not
+// name its own; zair=0 omits the ZAIR program from responses; format=zair
+// (single synchronous requests only) returns the bare ZAIR JSON,
+// byte-identical to `zac -out`. The request context is propagated into the
+// pipeline, so disconnecting cancels an in-flight compilation.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
@@ -136,6 +161,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d exceeds the limit of %d", len(batch), s.opts.MaxBatch))
 		return
 	}
+	defaultCompiler := r.URL.Query().Get("compiler")
 	includeZAIR := r.URL.Query().Get("zair") != "0"
 	rawZAIR := r.URL.Query().Get("format") == "zair"
 	if rawZAIR && (!single || req.Async) {
@@ -146,12 +172,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	if req.Async {
 		j := s.newJob(len(batch))
-		go s.runJob(j, batch, includeZAIR)
+		go s.runJob(j, batch, defaultCompiler, includeZAIR)
 		writeJSON(w, http.StatusAccepted, j.response())
 		return
 	}
 
-	results := s.compileBatch(batch, includeZAIR || rawZAIR)
+	results := s.compileBatch(r.Context(), batch, defaultCompiler, includeZAIR || rawZAIR)
 	if !single {
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 		return
@@ -185,53 +211,80 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // compileBatch fans the batch out over the worker pool, one BatchItem per
 // request in request order. Errors stay per-item; the batch itself never
 // fails.
-func (s *Server) compileBatch(batch []CompileRequest, includeZAIR bool) []BatchItem {
+func (s *Server) compileBatch(ctx context.Context, batch []CompileRequest, defaultCompiler string, includeZAIR bool) []BatchItem {
 	items := make([]BatchItem, len(batch))
 	var wg sync.WaitGroup
 	for i := range batch {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := s.compileOne(batch[i], includeZAIR)
-			if err != nil {
-				items[i] = BatchItem{Error: err.Error()}
-				return
-			}
-			items[i] = BatchItem{Result: res}
+			items[i] = s.compileItem(ctx, batch[i], defaultCompiler, includeZAIR)
 		}(i)
 	}
 	wg.Wait()
 	return items
 }
 
-// compileOne resolves one request and routes it through the cache
-// hierarchy; only a cache miss occupies a slot of the compile semaphore.
-func (s *Server) compileOne(req CompileRequest, includeZAIR bool) (*CompileResponse, error) {
-	c, circKey, err := resolveCircuit(req)
+// compileItem wraps compileOne into a BatchItem. It runs on goroutines the
+// service spawned itself — not net/http handler goroutines — so a panic
+// anywhere in a compiler would kill the whole process; contain it as a
+// per-item error instead.
+func (s *Server) compileItem(ctx context.Context, req CompileRequest, defaultCompiler string, includeZAIR bool) (item BatchItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			item = BatchItem{Error: fmt.Sprintf("compile panicked: %v", r)}
+		}
+	}()
+	res, err := s.compileOne(ctx, req, defaultCompiler, includeZAIR)
+	if err != nil {
+		return BatchItem{Error: err.Error()}
+	}
+	return BatchItem{Result: res}
+}
+
+// compileOne resolves one request and routes it through the compiler
+// registry and the cache hierarchy; only a cache miss occupies a slot of
+// the compile semaphore. The context reaches the pass pipeline, so an
+// abandoned request stops compiling mid-pass. A cancellation is never
+// memoized (the cache drops it), so a later identical request recompiles.
+func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultCompiler string, includeZAIR bool) (*CompileResponse, error) {
+	c, setting, err := resolveCompiler(req, defaultCompiler)
 	if err != nil {
 		return nil, err
 	}
-	a, err := resolveArch(req)
+	circ, circKey, err := resolveCircuit(req)
 	if err != nil {
 		return nil, err
 	}
-	setting, err := resolveSetting(req.Setting)
+	a, err := resolveArch(req, c)
 	if err != nil {
 		return nil, err
 	}
 
-	key := "serve|" + circKey + "|arch=" + a.Fingerprint() + "|opt=" + setting
+	key := "serve|" + c.Name() + "|" + circKey + "|arch=" + a.Fingerprint()
 	computed := false
-	res, err := engine.GetTiered(s.cache, key, core.ResultCodec(), func() (*core.Result, error) {
-		s.sem <- struct{}{}
+	// DoCtx gives the computation a context cancelled only when every
+	// request sharing it has disconnected, so one client abandoning a
+	// compile never fails an identical concurrent request.
+	res, err := engine.GetTieredCtx(s.cache, ctx, key, core.ResultCodec(), func(ctx context.Context) (*core.Result, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err() // don't queue dead work ahead of live requests
+		}
 		defer func() { <-s.sem }()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		computed = true
+		staged, err := s.stagedInput(c, circKey, circ)
+		if err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
-		r, err := core.Compile(c, a, core.OptionsFor(setting))
+		r, err := c.Compile(ctx, staged, a, compiler.Options{Key: circKey, Artifacts: s.artifacts})
 		if err == nil {
-			s.recordLatency(setting, time.Since(t0))
+			s.recordLatency(c.Name(), time.Since(t0))
+			s.recordPasses(c.Name(), r.Passes)
 		}
 		return r, err
 	})
@@ -243,6 +296,7 @@ func (s *Server) compileOne(req CompileRequest, includeZAIR bool) (*CompileRespo
 	out := &CompileResponse{
 		Name:          res.Program.Name,
 		NumQubits:     res.Program.NumQubits,
+		Compiler:      c.Name(),
 		Setting:       setting,
 		Fidelity:      res.Breakdown,
 		DurationUS:    res.Duration,
@@ -255,7 +309,8 @@ func (s *Server) compileOne(req CompileRequest, includeZAIR bool) (*CompileRespo
 	}
 	if includeZAIR {
 		// The exact encoding the zac CLI writes with -out, so service and
-		// CLI output are byte-identical for the same compilation.
+		// CLI output are byte-identical for the same compilation. Baseline
+		// compilers are evaluation models: their program is header-only.
 		raw, err := json.MarshalIndent(res.Program, "", " ")
 		if err != nil {
 			return nil, fmt.Errorf("encoding ZAIR: %w", err)
@@ -263,6 +318,44 @@ func (s *Server) compileOne(req CompileRequest, includeZAIR bool) (*CompileRespo
 		out.ZAIR = raw
 	}
 	return out, nil
+}
+
+// stagedInput preprocesses the circuit for the chosen compiler through the
+// pass-artifact cache, shaped by the registry-wide StageSplitCap rule:
+// ZAC-family compilers consume the unsplit staging (so the service's ZAIR
+// stays byte-identical to the `zac` CLI) and baselines split to the zoned
+// reference capacity, matching the experiment harness.
+func (s *Server) stagedInput(c compiler.Compiler, circKey string, circ *circuit.Circuit) (*circuit.Staged, error) {
+	return s.artifacts.Staged(circKey, compiler.StageSplitCap(c), func() (*circuit.Staged, error) {
+		return resynth.Preprocess(circ)
+	})
+}
+
+// resolveCompiler picks the registry compiler for one request — the
+// request's "compiler", its legacy "setting" (the Fig. 11 legend names are
+// registered aliases), the query-level default, or full ZAC — and returns
+// it with the setting string echoed in responses (the ablation preset for
+// ZAC-family compilers, the compiler name otherwise).
+func resolveCompiler(req CompileRequest, defaultCompiler string) (compiler.Compiler, string, error) {
+	name := req.Compiler
+	if name == "" {
+		name = req.Setting
+	}
+	if name == "" {
+		name = defaultCompiler
+	}
+	if name == "" {
+		name = "zac"
+	}
+	c, err := compiler.Get(name)
+	if err != nil {
+		return nil, "", err
+	}
+	setting := c.Name()
+	if s, ok := compiler.Setting(c.Name()); ok {
+		setting = s
+	}
+	return c, setting, nil
 }
 
 // resolveCircuit loads the request's circuit and returns it with the
@@ -294,10 +387,12 @@ func resolveCircuit(req CompileRequest) (*circuit.Circuit, string, error) {
 	}
 }
 
-// resolveArch decodes the request's architecture (default: the reference
-// architecture) and applies the AOD override.
-func resolveArch(req CompileRequest) (*arch.Architecture, error) {
-	a := arch.Reference()
+// resolveArch decodes the request's architecture (default: the compiler's
+// target architecture — the paper's reference for ZAC and the zoned
+// baselines, the monolithic grid for Enola and Atomique) and applies the
+// AOD override.
+func resolveArch(req CompileRequest, c compiler.Compiler) (*arch.Architecture, error) {
+	a := compiler.TargetArch(c)
 	if len(req.Arch) > 0 {
 		a = &arch.Architecture{}
 		if err := json.Unmarshal(req.Arch, a); err != nil {
@@ -310,27 +405,32 @@ func resolveArch(req CompileRequest) (*arch.Architecture, error) {
 	return a, nil
 }
 
-// resolveSetting validates the compiler preset (empty = full ZAC).
-func resolveSetting(setting string) (string, error) {
-	switch setting {
-	case "":
-		return core.SettingSADynPlaceReuse, nil
-	case core.SettingVanilla, core.SettingDynPlace, core.SettingDynPlaceReuse, core.SettingSADynPlaceReuse:
-		return setting, nil
-	default:
-		return "", fmt.Errorf("unknown setting %q (want Vanilla | dynPlace | dynPlace+reuse | SA+dynPlace+reuse)", setting)
+// recordLatency folds one fresh compilation into the per-compiler
+// aggregate.
+func (s *Server) recordLatency(name string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	record(s.latency, name, d)
+}
+
+// recordPasses folds one fresh compilation's pass timings into the
+// per-(compiler, pass) aggregates.
+func (s *Server) recordPasses(name string, passes []core.PassTiming) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range passes {
+		record(s.passes, name+"/"+p.Pass, p.Duration)
 	}
 }
 
-// recordLatency folds one fresh compilation into the per-setting aggregate.
-func (s *Server) recordLatency(setting string, d time.Duration) {
+// record folds one duration into the keyed aggregate map (caller holds the
+// lock).
+func record(m map[string]*latencyAgg, key string, d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	agg := s.latency[setting]
+	agg := m[key]
 	if agg == nil {
 		agg = &latencyAgg{}
-		s.latency[setting] = agg
+		m[key] = agg
 	}
 	agg.count++
 	agg.totalMS += ms
@@ -339,9 +439,12 @@ func (s *Server) recordLatency(setting string, d time.Duration) {
 	}
 }
 
-// CacheStats exposes the cache hierarchy's counters (used by tests and the
-// metrics endpoint).
+// CacheStats exposes the whole-compile cache hierarchy's counters (used by
+// tests and the metrics endpoint).
 func (s *Server) CacheStats() engine.TieredStats { return s.cache.Stats() }
+
+// PassCacheStats exposes the pass-artifact cache's counters.
+func (s *Server) PassCacheStats() engine.TieredStats { return s.artifacts.Stats() }
 
 // writeJSON writes v as indented JSON with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {

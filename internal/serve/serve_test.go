@@ -189,9 +189,18 @@ func TestCompileCachedFlagAndMetrics(t *testing.T) {
 	if m.CompilesTotal != 2 || m.Cache.Misses != 1 || m.Cache.MemHits != 1 {
 		t.Errorf("metrics = %+v; want 2 compiles, 1 miss, 1 mem hit", m)
 	}
-	lat, ok := m.Compilers[core.SettingSADynPlaceReuse]
+	lat, ok := m.Compilers["zac"]
 	if !ok || lat.Count != 1 || lat.AvgMS <= 0 {
 		t.Errorf("latency aggregate missing or empty: %+v", m.Compilers)
+	}
+	for _, pass := range []string{"validate", "place", "schedule", "emit", "fidelity"} {
+		pl, ok := m.Passes["zac/"+pass]
+		if !ok || pl.Count != 1 {
+			t.Errorf("pass latency for zac/%s missing: %+v", pass, m.Passes)
+		}
+	}
+	if m.PassCache.Misses == 0 {
+		t.Errorf("pass cache saw no lookups: %+v", m.PassCache)
 	}
 
 	status, raw := do(t, "GET", ts.URL+"/metrics", "")

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# bench-regress.sh [baseline.json]
+#
+# Regression gate over the PR-3 placement micro-benchmarks: runs
+# BenchmarkJVDense, BenchmarkJVSparse, BenchmarkSAInitial and
+# BenchmarkBuildPlan on the working tree, compares ns/op per benchmark
+# against the "current" block of a recorded baseline (default:
+# BENCH_3.json), and fails when any benchmark is more than THRESHOLD_PCT
+# percent slower. The fresh numbers are written to BENCH_OUT
+# (default BENCH_4.json) in the same format bench-compare.sh emits, with
+# the recorded baseline and per-benchmark speedups, so the next PR can
+# gate against this one. Uses benchstat for the human-readable diff when
+# it is installed; the gate itself is self-contained.
+#
+# Environment:
+#   BENCHTIME      go test -benchtime value (default 20x; the sub-ms JV
+#                  benchmarks are too noisy at lower iteration counts to
+#                  gate on)
+#   BENCH_OUT      output path (default BENCH_4.json)
+#   THRESHOLD_PCT  max tolerated slowdown in percent (default 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_3.json}"
+BENCHTIME="${BENCHTIME:-20x}"
+OUT="${BENCH_OUT:-BENCH_4.json}"
+THRESHOLD_PCT="${THRESHOLD_PCT:-20}"
+PATTERN='BenchmarkJVDense|BenchmarkJVSparse|BenchmarkSAInitial|BenchmarkBuildPlan'
+PKGS="./internal/matching ./internal/place"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench-regress: baseline $BASELINE not found" >&2
+  exit 1
+fi
+
+RAW="$(mktemp)"
+CUR_TSV="$(mktemp)"
+REF_TSV="$(mktemp)"
+trap 'rm -f "$RAW" "$CUR_TSV" "$REF_TSV"' EXIT
+
+echo "bench-regress: running micro-benchmarks (benchtime $BENCHTIME) against $BASELINE" >&2
+go test -run xxx -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW" >&2
+
+awk '/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = "null"; bop = "null"; aop = "null"
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns  = $(i-1)
+      if ($i == "B/op")      bop = $(i-1)
+      if ($i == "allocs/op") aop = $(i-1)
+    }
+    print name "\t" ns "\t" bop "\t" aop
+  }' "$RAW" > "$CUR_TSV"
+
+# Extract the baseline's "current" block as the reference numbers.
+awk '
+  /"current": \{/ { in_cur = 1; next }
+  in_cur && /^  \},?$/ { in_cur = 0 }
+  in_cur {
+    line = $0
+    if (match(line, /"[^"]+": \{"ns_op": [0-9.e+-]+, "b_op": [0-9.e+-]+(, "allocs_op": [0-9.e+-]+)?\}/)) {
+      name = line; sub(/^[ ]*"/, "", name); sub(/".*/, "", name)
+      ns = line; sub(/.*"ns_op": /, "", ns); sub(/[,}].*/, "", ns)
+      bop = line; sub(/.*"b_op": /, "", bop); sub(/[,}].*/, "", bop)
+      aop = line
+      if (aop ~ /"allocs_op"/) { sub(/.*"allocs_op": /, "", aop); sub(/[,}].*/, "", aop) } else { aop = "null" }
+      print name "\t" ns "\t" bop "\t" aop
+    }
+  }
+' "$BASELINE" > "$REF_TSV"
+
+if [ ! -s "$REF_TSV" ]; then
+  echo "bench-regress: no benchmarks found in $BASELINE" >&2
+  exit 1
+fi
+
+# Optional benchstat-style context when the tool happens to be installed.
+if command -v benchstat >/dev/null 2>&1; then
+  benchstat <(awk -F'\t' '{print $1 " 1 " $2 " ns/op"}' "$REF_TSV") \
+            <(awk -F'\t' '{print $1 " 1 " $2 " ns/op"}' "$CUR_TSV") >&2 || true
+fi
+
+FAIL=0
+while IFS=$'\t' read -r name ref_ns _ _; do
+  cur_ns=$(awk -F'\t' -v n="$name" '$1 == n { print $2 }' "$CUR_TSV")
+  if [ -z "$cur_ns" ] || [ "$cur_ns" = "null" ]; then
+    echo "bench-regress: FAIL $name: present in baseline but not in current run" >&2
+    FAIL=1
+    continue
+  fi
+  verdict=$(awk -v cur="$cur_ns" -v ref="$ref_ns" -v pct="$THRESHOLD_PCT" \
+    'BEGIN { limit = ref * (1 + pct / 100); printf "%s %.1f", (cur > limit ? "FAIL" : "ok"), 100 * (cur / ref - 1) }')
+  state="${verdict%% *}"
+  delta="${verdict##* }"
+  echo "bench-regress: $state $name: ${cur_ns} ns/op vs baseline ${ref_ns} ns/op (${delta}%)" >&2
+  if [ "$state" = "FAIL" ]; then
+    FAIL=1
+  fi
+done < "$REF_TSV"
+
+REF_LABEL="$BASELINE"
+awk -v ref="$REF_LABEL" -v refsha="$(git rev-parse HEAD 2>/dev/null || echo unknown)" -v benchtime="$BENCHTIME" '
+  function emit(file,   line, f, sep, out) {
+    sep = ""; out = ""
+    while ((getline line < file) > 0) {
+      split(line, f, "\t")
+      out = out sep sprintf("\n    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", f[1], f[2], f[3], f[4])
+      sep = ","
+    }
+    close(file)
+    return out
+  }
+  function speedups(curf, reff,   line, f, cur, out, sep) {
+    while ((getline line < curf) > 0) { split(line, f, "\t"); cur[f[1]] = f[2] }
+    close(curf)
+    sep = ""; out = ""
+    while ((getline line < reff) > 0) {
+      split(line, f, "\t")
+      if (f[1] in cur && cur[f[1]] + 0 > 0 && f[2] != "null") {
+        out = out sep sprintf("\n    \"%s\": %.2f", f[1], f[2] / cur[f[1]])
+        sep = ","
+      }
+    }
+    close(reff)
+    return out
+  }
+  BEGIN {
+    printf "{\n"
+    printf "  \"baseline_ref\": \"%s\",\n", ref
+    printf "  \"baseline_sha\": \"%s\",\n", refsha
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"current\": {%s\n  },\n", emit(ARGV[1])
+    printf "  \"baseline\": {%s\n  },\n", emit(ARGV[2])
+    printf "  \"speedup_vs_baseline\": {%s\n  }\n", speedups(ARGV[1], ARGV[2])
+    printf "}\n"
+  }
+' "$CUR_TSV" "$REF_TSV" > "$OUT"
+echo "bench-regress: wrote $OUT" >&2
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "bench-regress: FAILED — a benchmark regressed more than ${THRESHOLD_PCT}% vs $BASELINE" >&2
+  exit 1
+fi
+echo "bench-regress: all benchmarks within ${THRESHOLD_PCT}% of $BASELINE" >&2
