@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress serve-smoke
+.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase fuzz-smoke serve-smoke
 
 check: vet doclint build race
 
@@ -41,6 +41,19 @@ bench-compare:
 # vs the recorded BENCH_3.json numbers, and emit BENCH_4.json.
 bench-regress:
 	./scripts/bench-regress.sh
+
+# Hardware-independent gate: regenerate the baseline ON THIS MACHINE at the
+# commit that recorded BENCH_3.json (throwaway worktree → BENCH_local.json),
+# then apply the 20% threshold against those local numbers.
+bench-regress-rebase:
+	./scripts/bench-regress.sh --rebase
+
+# Round-trip fuzz gate: the pinned workload specs through every registry
+# compiler with invariant verification (ZAIR replay, gate-set legality,
+# statevector equivalence, fidelity sanity). Nightly-scale runs:
+# `go run ./cmd/zac-fuzz -duration 10m`.
+fuzz-smoke:
+	$(GO) run ./cmd/zac-fuzz -smoke
 
 # Boot zac-serve against a throwaway cache dir, probe /healthz, compile one
 # circuit, and check /metrics — the same smoke CI runs.

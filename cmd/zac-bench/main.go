@@ -16,9 +16,16 @@
 // presets, baselines, SC routers) over the circuit subset instead of
 // reproducing a paper experiment.
 //
+// With -workload the run sweeps workload-forge specs (';'-separated — specs
+// contain commas; see -list-workloads for families and schemas) through the
+// neutral-atom compilers, the generated counterpart of -experiment
+// workloads. Workload specs are also accepted inside -circuits wherever a
+// benchmark name is (commas permitting, i.e. single-parameter specs).
+//
 //	zac-bench -experiment fig8
 //	zac-bench -experiment fig9 -circuits bv_n14,ghz_n23
 //	zac-bench -compiler zac,enola,nalac -circuits bv_n14,ghz_n23
+//	zac-bench -workload 'rb:n=32,depth=20,seed=7;shuffle:n=40,depth=12,seed=3'
 //	zac-bench -experiment all -csv out/
 //	zac-bench -experiment all -parallel 8 -progress
 //	zac-bench -experiment all -cachedir ~/.cache/zac
@@ -37,6 +44,7 @@ import (
 	"strings"
 
 	"zac/internal/experiments"
+	"zac/internal/workload"
 )
 
 func main() {
@@ -49,7 +57,9 @@ func main() {
 func run() int {
 	exp := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list workload generator families with parameter schemas and exit")
 	compilers := flag.String("compiler", "", "comma-separated registry compilers to sweep instead of an experiment (e.g. zac,enola,nalac)")
+	workloads := flag.String("workload", "", "';'-separated workload specs to sweep instead of an experiment (e.g. 'rb:n=32,depth=20,seed=7;shuffle:n=40')")
 	circuits := flag.String("circuits", "", "comma-separated benchmark subset (default: full suite)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential)")
@@ -103,6 +113,10 @@ func run() int {
 		}
 		return 0
 	}
+	if *listWorkloads {
+		fmt.Print(workload.List())
+		return 0
+	}
 
 	var subset []string
 	if *circuits != "" {
@@ -135,6 +149,42 @@ func run() int {
 			}
 		}
 		return nil
+	}
+
+	if *workloads != "" {
+		// Forge sweep: compile the ';'-separated specs through the
+		// neutral-atom compilers via the forge experiment. As with
+		// -compiler, an explicit -experiment (or a -circuits subset, which
+		// the forge sweep would never read) would be silently ignored.
+		if *exp != "all" || *compilers != "" || *circuits != "" {
+			fmt.Fprintln(os.Stderr, "zac-bench: -workload is mutually exclusive with -experiment, -compiler, and -circuits (the forge sweep replaces them)")
+			return 1
+		}
+		// Validate every spec up front: the forge experiment skips non-spec
+		// subset entries (so `-experiment all -circuits …` keeps working),
+		// which would silently turn a typo like `rbx:n=32` into an empty
+		// sweep with exit 0 at this dedicated entry point.
+		var specs []string
+		for _, s := range strings.Split(*workloads, ";") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			if _, err := workload.Parse(s); err != nil {
+				fmt.Fprintf(os.Stderr, "zac-bench: -workload: %v\n", err)
+				return 1
+			}
+			specs = append(specs, s)
+		}
+		tables, err := experiments.RunWith(ctx, cfg, "forge", specs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: -workload: %v\n", err)
+			return 1
+		}
+		if err := emit("forge", tables); err != nil {
+			fmt.Fprintf(os.Stderr, "zac-bench: %v\n", err)
+			return 1
+		}
+		ids = nil
 	}
 
 	if *compilers != "" {

@@ -1,0 +1,133 @@
+// Command zac-fuzz is the compile→verify round-trip fuzzer: it generates
+// circuits from the workload forge (pinned specs or a seeded random stream),
+// round-trips each through the QASM writer/parser and every registry
+// compiler, and verifies the invariants the hardware imposes — ZAIR replay
+// (qubit conservation, AOD exclusivity, tone ordering), gate-set legality of
+// the staged program, statevector equivalence at small widths, and fidelity
+// sanity. Any failing input is greedily shrunk to a minimal reproduction and
+// printed as OpenQASM, ready to replay with `zac -qasm`.
+//
+//	zac-fuzz                                    # 25 random specs, all compilers
+//	zac-fuzz -n 200 -seed 42                    # bigger seeded run
+//	zac-fuzz -duration 10m                      # nightly: fuzz until the clock runs out
+//	zac-fuzz -spec "rb:n=32,depth=20,seed=7"    # exact specs (';'-separated)
+//	zac-fuzz -smoke                             # the pinned CI specs (make fuzz-smoke)
+//	zac-fuzz -compilers zac,enola -simmax 12
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"zac/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	specsFlag := flag.String("spec", "", "';'-separated workload specs to round-trip (disables random fuzzing)")
+	smoke := flag.Bool("smoke", false, "run the pinned CI smoke specs (same as make fuzz-smoke)")
+	n := flag.Int("n", 25, "random specs to fuzz when no -spec/-smoke is given")
+	seed := flag.Int64("seed", 1, "base seed of the random spec stream (runs are reproducible per seed)")
+	duration := flag.Duration("duration", 0, "fuzz until this much time has passed (overrides -n; for nightly runs)")
+	compilers := flag.String("compilers", "", "comma-separated registry compilers (default: whole registry)")
+	simMax := flag.Int("simmax", 10, "max qubits for statevector equivalence checks")
+	noShrink := flag.Bool("noshrink", false, "report failures without minimizing them")
+	listWorkloads := flag.Bool("list-workloads", false, "list generator families with parameter schemas and exit")
+	verbose := flag.Bool("v", false, "print one line per (spec, stage) check")
+	flag.Parse()
+
+	if *listWorkloads {
+		fmt.Print(workload.List())
+		return 0
+	}
+
+	opts := workload.FuzzOptions{SimMax: *simMax, NoShrink: *noShrink}
+	if *compilers != "" {
+		opts.Compilers = strings.Split(*compilers, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	var specs []string
+	switch {
+	case *specsFlag != "":
+		for _, s := range strings.Split(*specsFlag, ";") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+	case *smoke:
+		specs = workload.SmokeSpecs()
+	}
+
+	start := time.Now()
+	ran, failed := 0, 0
+	runOne := func(spec string) error {
+		failures, err := RoundTripVerbose(ctx, spec, opts, *verbose)
+		if err != nil {
+			return err
+		}
+		ran++
+		for _, f := range failures {
+			failed++
+			fmt.Printf("FAIL %s\n", f)
+		}
+		return nil
+	}
+
+	var runErr error
+	if specs != nil {
+		for _, spec := range specs {
+			if runErr = runOne(spec); runErr != nil {
+				break
+			}
+		}
+	} else {
+		r := workload.NewRNG(*seed)
+		for i := 0; ; i++ {
+			if *duration > 0 {
+				if ctx.Err() != nil {
+					break
+				}
+			} else if i >= *n {
+				break
+			}
+			if runErr = runOne(workload.RandomSpec(r).Canonical()); runErr != nil {
+				break
+			}
+		}
+	}
+	if runErr != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "zac-fuzz: %v\n", runErr)
+		return 2
+	}
+
+	fmt.Printf("zac-fuzz: %d specs round-tripped in %s, %d invariant violations\n",
+		ran, time.Since(start).Round(time.Millisecond), failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// RoundTripVerbose wraps workload.RoundTrip with per-spec progress output.
+func RoundTripVerbose(ctx context.Context, spec string, opts workload.FuzzOptions, verbose bool) ([]workload.Failure, error) {
+	if verbose {
+		fmt.Fprintf(os.Stderr, "[fuzz] %s\n", spec)
+	}
+	return workload.RoundTrip(ctx, spec, opts)
+}

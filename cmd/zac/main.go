@@ -4,11 +4,13 @@
 // program as JSON together with a fidelity report and per-pass timings.
 //
 //	zac -circuit ghz_n23                       # built-in benchmark
+//	zac -circuit spec:rb:n=32,depth=20,seed=7  # generated workload (see -list-workloads)
 //	zac -qasm program.qasm -arch arch.json     # external inputs
 //	zac -circuit qft_n18 -setting dynPlace     # ablation setting
 //	zac -circuit bv_n14 -out bv.zair.json      # dump ZAIR
 //	zac -circuit ghz_n23 -compiler enola       # baseline via the registry
 //	zac -list-compilers                        # registry contents
+//	zac -list-workloads                        # generator families + schemas
 package main
 
 import (
@@ -27,13 +29,15 @@ import (
 	"zac/internal/qasm"
 	"zac/internal/resynth"
 	"zac/internal/trace"
+	"zac/internal/workload"
 )
 
 func main() {
 	qasmPath := flag.String("qasm", "", "OpenQASM 2.0 input file")
-	benchName := flag.String("circuit", "", "built-in benchmark name (e.g. ghz_n23; see -list)")
+	benchName := flag.String("circuit", "", "built-in benchmark name (e.g. ghz_n23; see -list) or workload spec (e.g. spec:rb:n=32,depth=20,seed=7; see -list-workloads)")
 	list := flag.Bool("list", false, "list built-in benchmarks and exit")
 	listCompilers := flag.Bool("list-compilers", false, "list registry compilers and exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list workload generator families with parameter schemas and exit")
 	archPath := flag.String("arch", "", "architecture JSON (default: the compiler's target architecture)")
 	setting := flag.String("setting", core.SettingSADynPlaceReuse,
 		"compiler setting: Vanilla | dynPlace | dynPlace+reuse | SA+dynPlace+reuse")
@@ -54,6 +58,10 @@ func main() {
 		for _, n := range compiler.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+	if *listWorkloads {
+		fmt.Print(workload.List())
 		return
 	}
 
@@ -163,13 +171,16 @@ func loadCircuit(qasmPath, benchName string) (*circuit.Circuit, error) {
 		c.Name = qasmPath
 		return c, nil
 	case benchName != "":
+		if workload.IsSpec(benchName) {
+			return workload.Build(benchName)
+		}
 		b, err := bench.ByName(benchName)
 		if err != nil {
 			return nil, err
 		}
 		return b.Build(), nil
 	default:
-		return nil, fmt.Errorf("provide -qasm FILE or -circuit NAME (see -list)")
+		return nil, fmt.Errorf("provide -qasm FILE or -circuit NAME (see -list; workload specs via spec:…)")
 	}
 }
 

@@ -36,7 +36,6 @@ import (
 	"zac/internal/core"
 	"zac/internal/engine"
 	"zac/internal/fidelity"
-	"zac/internal/geom"
 	"zac/internal/resynth"
 	"zac/internal/zair"
 )
@@ -157,7 +156,7 @@ func report(path string, data []byte, a *arch.Architecture) (string, error) {
 		return "", fmt.Errorf("parsing %s: %w", path, err)
 	}
 
-	v := &zair.Verifier{Resolve: resolver(a)}
+	v := &zair.Verifier{Resolve: a.ResolveTrap}
 	if err := v.Verify(&prog); err != nil {
 		return "", fmt.Errorf("%s: verification failed: %w", path, err)
 	}
@@ -237,21 +236,6 @@ func replayStats(p *zair.Program, a *arch.Architecture) fidelity.Stats {
 		}
 	}
 	return st
-}
-
-func resolver(a *arch.Architecture) zair.PosResolver {
-	return func(slmID, row, col int) (geom.Point, error) {
-		for _, zs := range [][]arch.Zone{a.Storage, a.Entanglement} {
-			for _, z := range zs {
-				for _, s := range z.SLMs {
-					if s.ID == slmID && s.InRange(row, col) {
-						return s.TrapPos(row, col), nil
-					}
-				}
-			}
-		}
-		return geom.Point{}, fmt.Errorf("unknown SLM %d trap (%d,%d)", slmID, row, col)
-	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,111 @@
+package circuit
+
+import "testing"
+
+// rydberg builds a Rydberg stage of pairs (2i, 2i+1) for i < n.
+func rydberg(n int) Stage {
+	st := Stage{Kind: RydbergStage}
+	for i := 0; i < n; i++ {
+		st.Gates = append(st.Gates, NewGate(CZ, []int{2 * i, 2*i + 1}))
+	}
+	return st
+}
+
+func TestSplitRydbergStagesChunks(t *testing.T) {
+	s := &Staged{Name: "wide", NumQubits: 20, Stages: []Stage{rydberg(10)}}
+	out := SplitRydbergStages(s, 3)
+	if len(out.Stages) != 4 { // 3+3+3+1
+		t.Fatalf("stages = %d, want 4", len(out.Stages))
+	}
+	total := 0
+	var gates []Gate
+	for i, st := range out.Stages {
+		if st.Kind != RydbergStage {
+			t.Fatalf("stage %d kind %v", i, st.Kind)
+		}
+		if len(st.Gates) > 3 {
+			t.Fatalf("stage %d has %d gates, cap 3", i, len(st.Gates))
+		}
+		total += len(st.Gates)
+		gates = append(gates, st.Gates...)
+	}
+	if total != 10 {
+		t.Fatalf("gate count changed: %d", total)
+	}
+	// Order is preserved across chunks.
+	for i, g := range gates {
+		if g.Qubits[0] != 2*i {
+			t.Fatalf("gate %d reordered: %v", i, g)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitDepthZero covers the generator extreme of a gateless circuit: no
+// stages in, no stages out, and the result still validates.
+func TestSplitDepthZero(t *testing.T) {
+	s := &Staged{Name: "empty", NumQubits: 5}
+	out := SplitRydbergStages(s, 4)
+	if len(out.Stages) != 0 {
+		t.Fatalf("stages = %d, want 0", len(out.Stages))
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRydbergStages() != 0 {
+		t.Fatalf("rydberg stages = %d", out.NumRydbergStages())
+	}
+	one, two := out.GateCounts()
+	if one != 0 || two != 0 {
+		t.Fatalf("gate counts = %d/%d", one, two)
+	}
+}
+
+// TestSplitWidthOne covers width-1 circuits: only 1Q stages exist, and
+// splitting at any cap must pass them through untouched.
+func TestSplitWidthOne(t *testing.T) {
+	s := &Staged{Name: "w1", NumQubits: 1, Stages: []Stage{
+		{Kind: OneQStage, Gates: []Gate{NewGate(U3, []int{0}, 0.1, 0.2, 0.3)}},
+		{Kind: OneQStage, Gates: []Gate{NewGate(U3, []int{0}, 0.4, 0.5, 0.6)}},
+	}}
+	for _, cap := range []int{1, 2, 0, -1} {
+		out := SplitRydbergStages(s, cap)
+		if len(out.Stages) != 2 {
+			t.Fatalf("cap %d: stages = %d, want 2", cap, len(out.Stages))
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+	}
+	// Flatten round-trips the width-1 program.
+	if flat := s.Flatten(); flat.NumQubits != 1 || len(flat.Gates) != 2 {
+		t.Fatal("width-1 flatten broken")
+	}
+}
+
+// TestSplitNonPositiveCapIsIdentity pins the no-split contract (cap ≤ 0) the
+// ZAC-family compilers depend on for byte-stable ZAIR.
+func TestSplitNonPositiveCapIsIdentity(t *testing.T) {
+	s := &Staged{Name: "wide", NumQubits: 20, Stages: []Stage{rydberg(10)}}
+	for _, cap := range []int{0, -7} {
+		if out := SplitRydbergStages(s, cap); out != s {
+			t.Fatalf("cap %d: expected the identical *Staged back", cap)
+		}
+	}
+}
+
+// TestSplitMixedStagesUntouched checks 1Q stages pass through oversized
+// splits in position.
+func TestSplitMixedStagesUntouched(t *testing.T) {
+	oneQ := Stage{Kind: OneQStage, Gates: []Gate{NewGate(U3, []int{0}, 0, 0, 0)}}
+	s := &Staged{Name: "mixed", NumQubits: 8, Stages: []Stage{oneQ, rydberg(4), oneQ}}
+	out := SplitRydbergStages(s, 1)
+	if len(out.Stages) != 6 { // 1Q + 4 chunks + 1Q
+		t.Fatalf("stages = %d, want 6", len(out.Stages))
+	}
+	if out.Stages[0].Kind != OneQStage || out.Stages[5].Kind != OneQStage {
+		t.Fatal("1Q stages moved")
+	}
+}

@@ -1,0 +1,95 @@
+// The external test package breaks the import cycle: workload generators
+// depend on the compiler registry, so staging tests that drive them live in
+// compiler_test.
+package compiler_test
+
+import (
+	"strconv"
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/compiler"
+	"zac/internal/resynth"
+	"zac/internal/workload"
+)
+
+// TestStageSplitCapWiderThanReference pushes a generated circuit whose
+// Rydberg parallelism exceeds the zoned reference capacity through the
+// registry's shaping rule: after splitting at StageSplitCap every stage must
+// fit the architecture's site count with no gate lost or reordered.
+func TestStageSplitCapWiderThanReference(t *testing.T) {
+	capSites := arch.Reference().TotalSites()
+	// A shuffle layer on 2×(cap+9) qubits packs cap+9 parallel CZs into one
+	// Rydberg stage — wider than any zone can expose at once.
+	n := 2 * (capSites + 9)
+	c, err := workload.Build("shuffle:n=" + strconv.Itoa(n) + ",depth=2,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := resynth.Preprocess(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := 0
+	for _, st := range staged.Stages {
+		if st.Kind == circuit.RydbergStage && len(st.Gates) > capSites {
+			wide++
+		}
+	}
+	if wide == 0 {
+		t.Fatalf("expected at least one Rydberg stage wider than %d sites", capSites)
+	}
+
+	baseline, err := compiler.Get("nalac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := circuit.SplitRydbergStages(staged, compiler.StageSplitCap(baseline))
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range split.Stages {
+		if st.Kind == circuit.RydbergStage && len(st.Gates) > capSites {
+			t.Fatalf("stage %d still holds %d gates (cap %d)", i, len(st.Gates), capSites)
+		}
+	}
+	beforeOne, beforeTwo := staged.GateCounts()
+	afterOne, afterTwo := split.GateCounts()
+	if beforeOne != afterOne || beforeTwo != afterTwo {
+		t.Fatalf("splitting changed gate counts: %d/%d → %d/%d", beforeOne, beforeTwo, afterOne, afterTwo)
+	}
+}
+
+// TestStageSplitCapZACUnsplit pins the other side of the shaping rule: the
+// ZAC family consumes unsplit staging (cap 0) so CLI/serve ZAIR stays
+// byte-stable.
+func TestStageSplitCapZACUnsplit(t *testing.T) {
+	for _, name := range []string{"zac", "zac-vanilla", "zac-dynplace", "zac-dynplace-reuse"} {
+		c, err := compiler.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := compiler.StageSplitCap(c); got != 0 {
+			t.Errorf("%s: StageSplitCap = %d, want 0", name, got)
+		}
+	}
+	for _, name := range []string{"sc-heron", "sc-grid"} {
+		c, err := compiler.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := compiler.StageSplitCap(c); got != 0 {
+			t.Errorf("%s: StageSplitCap = %d, want 0 (flat staging)", name, got)
+		}
+	}
+	for _, name := range []string{"enola", "atomique", "nalac"} {
+		c, err := compiler.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := compiler.StageSplitCap(c), arch.Reference().TotalSites(); got != want {
+			t.Errorf("%s: StageSplitCap = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -10,7 +10,7 @@ var fast = []string{"bv_n14", "ghz_n23"}
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"advreuse", "compilers", "fig10", "fig11", "fig12", "fig13",
-		"fig14", "fig1c", "fig8", "fig9", "ftqc", "multizone", "nativeccz",
+		"fig14", "fig1c", "fig8", "fig9", "forge", "ftqc", "multizone", "nativeccz",
 		"sweep", "table1", "table2", "workloads", "zair"}
 	got := Registry()
 	if len(got) != len(want) {

@@ -9,6 +9,7 @@ import (
 	"zac/internal/core"
 	"zac/internal/fidelity"
 	"zac/internal/ftqc"
+	"zac/internal/workload"
 )
 
 // Column names shared with the paper's legends.
@@ -25,12 +26,23 @@ const (
 var naCols = []string{ColAtomique, ColEnola, ColNALAC, ColZAC}
 
 // suite resolves a benchmark subset (nil = the full 17-circuit suite).
+// Entries that name a workload-forge spec (e.g. "rb:n=32,depth=20,seed=7" or
+// "spec:shuffle") resolve through the generator registry, so every
+// experiment accepts generated circuits alongside the static suite.
 func suite(subset []string) ([]bench.Benchmark, error) {
 	if len(subset) == 0 {
 		return bench.All(), nil
 	}
 	var out []bench.Benchmark
 	for _, name := range subset {
+		if workload.IsSpec(name) {
+			b, err := forgeBenchmark(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+			continue
+		}
 		b, err := bench.ByName(name)
 		if err != nil {
 			return nil, err

@@ -179,6 +179,7 @@ var runners = map[string]Runner{
 	"advreuse":  AdvReuse,
 	"sweep":     Sweep,
 	"workloads": Workloads,
+	"forge":     Forge,
 	"nativeccz": NativeCCZ,
 	"compilers": Compilers,
 }

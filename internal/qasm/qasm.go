@@ -16,15 +16,17 @@ import (
 
 // Parse parses OpenQASM 2.0 source into a circuit. Multiple qregs are
 // concatenated into one qubit index space in declaration order. Classical
-// registers are accepted and ignored except as measure targets.
+// registers are accepted and ignored except as measure targets. Errors carry
+// the line:column position of the offending statement; malformed or
+// truncated input is always reported as an error, never a panic (guarded by
+// the FuzzParse corpus in qasm_test.go).
 func Parse(src string) (*circuit.Circuit, error) {
 	p := &parser{src: src}
 	return p.parse()
 }
 
 type parser struct {
-	src  string
-	line int
+	src string
 
 	regs    map[string]regInfo
 	nQubits int
@@ -51,16 +53,9 @@ func (p *parser) parse() (*circuit.Circuit, error) {
 	p.regs = map[string]regInfo{}
 	p.out = circuit.New("qasm", 1)
 
-	src := stripComments(p.src)
-	// Statements are ';'-terminated.
-	for _, stmt := range strings.Split(src, ";") {
-		stmt = strings.TrimSpace(stmt)
-		if stmt == "" {
-			continue
-		}
-		p.line++
-		if err := p.statement(stmt); err != nil {
-			return nil, fmt.Errorf("qasm: statement %d (%q): %w", p.line, stmt, err)
+	for _, stmt := range splitStatements(p.src) {
+		if err := p.statement(stmt.text); err != nil {
+			return nil, fmt.Errorf("qasm: line %d:%d: %q: %w", stmt.line, stmt.col, stmt.text, err)
 		}
 	}
 	if p.nQubits == 0 {
@@ -73,16 +68,59 @@ func (p *parser) parse() (*circuit.Circuit, error) {
 	return p.out, nil
 }
 
-func stripComments(src string) string {
-	var b strings.Builder
-	for _, line := range strings.Split(src, "\n") {
-		if i := strings.Index(line, "//"); i >= 0 {
-			line = line[:i]
+// stmtTok is one ';'-terminated statement with the source position of its
+// first non-space character.
+type stmtTok struct {
+	text      string
+	line, col int
+}
+
+// splitStatements splits source into ';'-terminated statements, stripping
+// // comments and tracking the 1-based line:column where each statement
+// starts. A trailing statement without ';' is kept (matching the historical
+// parser), so truncated input still reports a positioned error rather than
+// being silently dropped.
+func splitStatements(src string) []stmtTok {
+	var out []stmtTok
+	var cur strings.Builder
+	line, col := 1, 1
+	curLine, curCol := 0, 0
+	flush := func() {
+		if text := strings.TrimSpace(cur.String()); text != "" {
+			out = append(out, stmtTok{text: text, line: curLine, col: curCol})
 		}
-		b.WriteString(line)
-		b.WriteByte('\n')
+		cur.Reset()
+		curLine, curCol = 0, 0
 	}
-	return b.String()
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '/' && i+1 < len(src) && src[i+1] == '/' {
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			cur.WriteByte(' ') // comments separate tokens, like the newline they replace
+			line++
+			col = 1
+			continue
+		}
+		if c == ';' {
+			flush()
+			col++
+			continue
+		}
+		if curLine == 0 && c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			curLine, curCol = line, col
+		}
+		cur.WriteByte(c)
+		if c == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	flush()
+	return out
 }
 
 func (p *parser) statement(stmt string) error {
@@ -212,6 +250,12 @@ func (p *parser) gate(stmt string) error {
 	if !ok {
 		return fmt.Errorf("unsupported gate %q", name)
 	}
+	// Validate the parameter count up front: every path below constructs
+	// gates, and circuit.NewGate treats a mismatch as a programming error
+	// (panic), which malformed input must never reach.
+	if len(params) != kind.NumParams() {
+		return fmt.Errorf("%s expects %d params, got %d", name, kind.NumParams(), len(params))
+	}
 	operandSrc := strings.Join(fields[1:], "")
 	var operands [][]int
 	for _, o := range strings.Split(operandSrc, ",") {
@@ -240,6 +284,7 @@ func (p *parser) gate(stmt string) error {
 	}
 	for w := 0; w < width; w++ {
 		qs := make([]int, len(operands))
+		seen := map[int]bool{}
 		for k, o := range operands {
 			if len(o) == 1 {
 				qs[k] = o[0]
@@ -248,9 +293,10 @@ func (p *parser) gate(stmt string) error {
 			} else {
 				return fmt.Errorf("register length mismatch in %s", name)
 			}
-		}
-		if len(params) != kind.NumParams() {
-			return fmt.Errorf("%s expects %d params, got %d", name, kind.NumParams(), len(params))
+			if seen[qs[k]] {
+				return fmt.Errorf("%s uses qubit %d twice", name, qs[k])
+			}
+			seen[qs[k]] = true
 		}
 		p.out.Append(kind, qs, params...)
 	}

@@ -2,6 +2,7 @@ package qasm
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"zac/internal/bench"
@@ -159,6 +160,84 @@ func TestRoundTripAllBenchmarks(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestParseErrorPosition checks that errors carry the 1-based line:column of
+// the offending statement.
+func TestParseErrorPosition(t *testing.T) {
+	src := "OPENQASM 2.0;\nqreg q[2];\n  frobnicate q[0];\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3:3") {
+		t.Fatalf("error lacks line:col position: %v", err)
+	}
+	// A statement spanning lines is reported at its first token.
+	_, err = Parse("qreg q[1];\n\n\nrz(\nbogus) q[0];")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 4:1") {
+		t.Fatalf("error lacks line:col position: %v", err)
+	}
+}
+
+// TestParseNeverPanics replays fuzz-found and truncated inputs that must
+// yield errors (or parse), never panics. The broadcast cases are the
+// historical crashers: a parameter on a parameterless gate reached
+// circuit.NewGate unchecked.
+func TestParseNeverPanics(t *testing.T) {
+	cases := map[string]string{
+		"param on bare gate (broadcast)": `qreg q[3]; h(0.5) q;`,
+		"param on bare gate (indexed)":   `qreg q[3]; x(1) q[0];`,
+		"missing param":                  `qreg q[1]; rz q[0];`,
+		"duplicate qubit":                `qreg q[2]; cx q[0],q[0];`,
+		"duplicate via broadcast":        `qreg q[2]; cx q,q;`,
+		"truncated qreg":                 `qreg q[2`,
+		"truncated params":               `qreg q[1]; rz(pi`,
+		"truncated measure":              `qreg q[1]; measure`,
+		"truncated arrow":                `qreg q[1]; measure q[0] ->`,
+		"bare semicolons":                `;;;`,
+		"comment only":                   "// nothing here",
+		"unterminated statement":         "qreg q[1]; h q[0]",
+		"index overflow":                 `qreg q[99999999999999999999];`,
+		"empty parens":                   `qreg q[1]; rz() q[0];`,
+	}
+	for name, src := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: Parse panicked: %v", name, r)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+}
+
+// FuzzParse is the native fuzz target guarding the no-panic contract; `go
+// test` replays the seed corpus, `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n",
+		`qreg q[3]; h(0.5) q;`,
+		`qreg q[2]; cx q[0],q[0];`,
+		`qreg q[1]; rz(-(pi+1)/2) q[0];`,
+		`qreg q[2`,
+		`qreg a[2]; qreg b[3]; cx a,b[0];`,
+		"// comment\nqreg q[1]; u3(1,2,3) q[0]",
+		`qreg q[1]; rz(1/0) q[0];`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src) // must never panic
+		if err == nil && c.NumQubits <= 0 {
+			t.Fatalf("accepted circuit with %d qubits", c.NumQubits)
+		}
+	})
 }
 
 func TestParseBarrier(t *testing.T) {

@@ -6,14 +6,21 @@ import (
 	"zac/internal/fidelity"
 )
 
-// CompileRequest describes one compilation: a circuit (either a built-in
-// benchmark name or inline OpenQASM 2.0 source), an optional architecture,
-// and optional compiler knobs. Exactly one of Circuit and QASM must be set.
+// CompileRequest describes one compilation: a circuit (a built-in benchmark
+// name, inline OpenQASM 2.0 source, or a workload-forge spec), an optional
+// architecture, and optional compiler knobs. Exactly one of Circuit, QASM,
+// and Workload must be set.
 type CompileRequest struct {
 	// Circuit names a built-in benchmark (e.g. "ghz_n23").
 	Circuit string `json:"circuit,omitempty"`
 	// QASM is inline OpenQASM 2.0 source.
 	QASM string `json:"qasm,omitempty"`
+	// Workload is a workload-forge generator spec (e.g.
+	// "rb:n=32,depth=20,seed=7"; see `zac -list-workloads`). The service
+	// generates the circuit deterministically from the spec, and the
+	// canonical spec becomes part of the compile cache key, so identical
+	// specs hit the tiered cache exactly like identical benchmarks.
+	Workload string `json:"workload,omitempty"`
 	// Name labels a QASM submission; it becomes the program name in the
 	// emitted ZAIR (the CLI uses the input path here). Ignored for built-in
 	// benchmarks, which carry their own name.

@@ -45,6 +45,7 @@ import (
 	"zac/internal/engine"
 	"zac/internal/qasm"
 	"zac/internal/resynth"
+	"zac/internal/workload"
 )
 
 // Options configures a Server. The zero value is serviceable: all-CPU
@@ -252,7 +253,7 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 	if err != nil {
 		return nil, err
 	}
-	circ, circKey, err := resolveCircuit(req)
+	buildCirc, circKey, err := resolveCircuit(req)
 	if err != nil {
 		return nil, err
 	}
@@ -276,6 +277,10 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		computed = true
+		circ, err := buildCirc()
+		if err != nil {
+			return nil, err
+		}
 		staged, err := s.stagedInput(c, circKey, circ)
 		if err != nil {
 			return nil, err
@@ -358,19 +363,39 @@ func resolveCompiler(req CompileRequest, defaultCompiler string) (compiler.Compi
 	return c, setting, nil
 }
 
-// resolveCircuit loads the request's circuit and returns it with the
-// circuit component of the cache key (benchmark name, or content digest for
-// inline QASM).
-func resolveCircuit(req CompileRequest) (*circuit.Circuit, string, error) {
+// resolveCircuit validates the request's circuit source and returns a lazy
+// builder plus the circuit component of the cache key (benchmark name,
+// canonical workload spec, or content digest for inline QASM). Validation
+// (unknown benchmark, malformed QASM, out-of-range spec) happens eagerly so
+// bad requests 400 immediately, but materializing the circuit is deferred
+// to the builder, which compileOne invokes only on a cache miss *inside*
+// the compile semaphore — so a request naming a large generated workload
+// cannot allocate outside the service's concurrency bound.
+func resolveCircuit(req CompileRequest) (func() (*circuit.Circuit, error), string, error) {
+	set := 0
+	for _, s := range []string{req.Circuit, req.QASM, req.Workload} {
+		if s != "" {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, "", fmt.Errorf("set exactly one of \"circuit\", \"qasm\", and \"workload\"")
+	}
 	switch {
-	case req.Circuit != "" && req.QASM != "":
-		return nil, "", fmt.Errorf("set either \"circuit\" or \"qasm\", not both")
+	case req.Workload != "":
+		spec, err := workload.Parse(req.Workload)
+		if err != nil {
+			return nil, "", err
+		}
+		// The canonical spec keys the cache: requests spelling the same
+		// workload differently share one entry.
+		return spec.Generate, "workload=" + spec.Canonical(), nil
 	case req.Circuit != "":
 		b, err := bench.ByName(req.Circuit)
 		if err != nil {
 			return nil, "", err
 		}
-		return b.Build(), "circ=" + req.Circuit, nil
+		return func() (*circuit.Circuit, error) { return b.Build(), nil }, "circ=" + req.Circuit, nil
 	case req.QASM != "":
 		c, err := qasm.Parse(req.QASM)
 		if err != nil {
@@ -381,9 +406,10 @@ func resolveCircuit(req CompileRequest) (*circuit.Circuit, string, error) {
 			name = "qasm"
 		}
 		c.Name = name
-		return c, fmt.Sprintf("qasm=%x|name=%s", sha256.Sum256([]byte(req.QASM)), name), nil
+		key := fmt.Sprintf("qasm=%x|name=%s", sha256.Sum256([]byte(req.QASM)), name)
+		return func() (*circuit.Circuit, error) { return c, nil }, key, nil
 	default:
-		return nil, "", fmt.Errorf("set \"circuit\" (built-in benchmark) or \"qasm\" (inline source)")
+		return nil, "", fmt.Errorf("set \"circuit\" (built-in benchmark), \"qasm\" (inline source), or \"workload\" (generator spec)")
 	}
 }
 

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zac/internal/circuit"
+)
+
+// SpecPrefix is the surface-level marker distinguishing a workload spec from
+// a built-in benchmark name (e.g. `zac -circuit spec:rb:n=32,depth=20,seed=7`).
+// Parse strips it when present; Canonical never includes it.
+const SpecPrefix = "spec:"
+
+// Spec is a parsed workload spec: a registered family plus fully-populated
+// parameter values. Its canonical string form is the cache key every surface
+// shares.
+type Spec struct {
+	Family string
+	Values Values
+}
+
+// Parse parses a spec string of the grammar
+//
+//	["spec:"] family [":" key "=" int { "," key "=" int }]
+//
+// against the registry: the family must be registered, every key must be in
+// its schema, values must be integers within the schema's bounds, and
+// omitted keys take their defaults. Whitespace around tokens is ignored.
+func Parse(spec string) (Spec, error) {
+	s := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(spec), SpecPrefix))
+	family, rest, _ := strings.Cut(s, ":")
+	family = canonical(family)
+	if family == "" {
+		return Spec{}, fmt.Errorf("workload: empty spec %q", spec)
+	}
+	g, err := Get(family)
+	if err != nil {
+		return Spec{}, err
+	}
+	schema := map[string]Param{}
+	for _, p := range g.Params() {
+		schema[p.Name] = p
+	}
+	out := Spec{Family: family, Values: Values{}}
+	if rest = strings.TrimSpace(rest); rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			key = strings.TrimSpace(key)
+			if !ok || key == "" {
+				return Spec{}, fmt.Errorf("workload: %s: malformed parameter %q (want key=int)", family, kv)
+			}
+			p, known := schema[key]
+			if !known {
+				return Spec{}, fmt.Errorf("workload: %s: unknown parameter %q (schema: %s)", family, key, schemaKeys(g))
+			}
+			if _, dup := out.Values[key]; dup {
+				return Spec{}, fmt.Errorf("workload: %s: duplicate parameter %q", family, key)
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("workload: %s: parameter %s: bad integer %q", family, key, strings.TrimSpace(val))
+			}
+			if n < p.Min || (p.Max > 0 && n > p.Max) {
+				return Spec{}, fmt.Errorf("workload: %s: parameter %s=%d out of range [%d,%s]", family, key, n, p.Min, maxLabel(p))
+			}
+			out.Values[key] = n
+		}
+	}
+	for _, p := range g.Params() {
+		if _, set := out.Values[p.Name]; !set {
+			out.Values[p.Name] = p.Default
+		}
+	}
+	if n, ok := g.(Normalizer); ok {
+		n.Normalize(out.Values)
+	}
+	return out, nil
+}
+
+// Canonical renders the spec in its canonical form: family, then every
+// schema parameter in schema order with explicit values. Two specs that
+// generate the same circuit render identically, so the canonical string is a
+// safe cache key.
+func (s Spec) Canonical() string {
+	g, vals, err := s.normalized()
+	if err != nil {
+		return s.Family
+	}
+	var b strings.Builder
+	b.WriteString(canonical(s.Family))
+	for i, p := range g.Params() {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", p.Name, vals[p.Name])
+	}
+	return b.String()
+}
+
+// normalized resolves the spec's generator and returns a fresh Values with
+// defaults filled and the family's Normalize hook applied — the one place
+// the canonical string and the generated circuit are kept in lockstep (both
+// Canonical and Generate go through it).
+func (s Spec) normalized() (Generator, Values, error) {
+	g, err := Get(s.Family)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := Values{}
+	for _, p := range g.Params() {
+		v, ok := s.Values[p.Name]
+		if !ok {
+			v = p.Default
+		}
+		vals[p.Name] = v
+	}
+	if n, ok := g.(Normalizer); ok {
+		n.Normalize(vals)
+	}
+	return g, vals, nil
+}
+
+// Generate builds the spec's circuit and names it after the canonical spec.
+// Values are normalized first, so a hand-built Spec (e.g. RandomSpec)
+// generates exactly the circuit its canonical string describes.
+func (s Spec) Generate() (*circuit.Circuit, error) {
+	g, vals, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	c, err := g.Generate(vals)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", s.Canonical(), err)
+	}
+	c.Name = s.Canonical()
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %s: generated invalid circuit: %w", s.Canonical(), err)
+	}
+	return c, nil
+}
+
+// IsSpec reports whether name looks like a workload spec rather than a
+// built-in benchmark name: it carries the "spec:" prefix or names a
+// registered family (optionally with parameters).
+func IsSpec(name string) bool {
+	name = strings.TrimSpace(name)
+	if strings.HasPrefix(name, SpecPrefix) {
+		return true
+	}
+	family, _, _ := strings.Cut(name, ":")
+	_, err := Get(family)
+	return err == nil
+}
+
+// schemaKeys renders a generator's parameter names for error messages.
+func schemaKeys(g Generator) string {
+	var keys []string
+	for _, p := range g.Params() {
+		keys = append(keys, p.Name)
+	}
+	return strings.Join(keys, ", ")
+}
+
+// maxLabel renders a parameter's upper bound ("∞" when unbounded).
+func maxLabel(p Param) string {
+	if p.Max <= 0 {
+		return "∞"
+	}
+	return strconv.FormatInt(p.Max, 10)
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench-regress.sh [baseline.json]
+# bench-regress.sh [--rebase [ref]] [baseline.json]
 #
 # Regression gate over the PR-3 placement micro-benchmarks: runs
 # BenchmarkJVDense, BenchmarkJVSparse, BenchmarkSAInitial and
@@ -12,14 +12,39 @@
 # gate against this one. Uses benchstat for the human-readable diff when
 # it is installed; the gate itself is self-contained.
 #
+# With --rebase the recorded numbers are not trusted at all: the commit
+# that last touched the committed baseline (the tree whose working-tree run
+# produced its "current" block; overridable by the optional ref argument or
+# REBASE_REF) is checked out into a throwaway worktree, the same benchmarks
+# are run there ON THIS MACHINE, and the gate compares working tree vs that
+# locally measured baseline (written to REBASE_OUT, default
+# BENCH_local.json). That makes the THRESHOLD_PCT gate meaningful on any
+# hardware — committed BENCH_N.json numbers only ever describe the machine
+# that recorded them.
+#
 # Environment:
 #   BENCHTIME      go test -benchtime value (default 20x; the sub-ms JV
 #                  benchmarks are too noisy at lower iteration counts to
 #                  gate on)
 #   BENCH_OUT      output path (default BENCH_4.json)
 #   THRESHOLD_PCT  max tolerated slowdown in percent (default 20)
+#   REBASE_REF     git ref to regenerate the baseline from (--rebase;
+#                  default: the commit that last touched the baseline
+#                  file, falling back to HEAD)
+#   REBASE_OUT     locally regenerated baseline path (default BENCH_local.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+REBASE=0
+if [ "${1:-}" = "--rebase" ]; then
+  REBASE=1
+  shift
+  # An optional ref may follow --rebase; a *.json argument is the baseline.
+  case "${1:-}" in
+    ''|*.json) ;;
+    *) REBASE_REF="$1"; shift ;;
+  esac
+fi
 
 BASELINE="${1:-BENCH_3.json}"
 BENCHTIME="${BENCHTIME:-20x}"
@@ -36,7 +61,75 @@ fi
 RAW="$(mktemp)"
 CUR_TSV="$(mktemp)"
 REF_TSV="$(mktemp)"
-trap 'rm -f "$RAW" "$CUR_TSV" "$REF_TSV"' EXIT
+WORKDIR=""
+cleanup() {
+  rm -f "$RAW" "$CUR_TSV" "$REF_TSV"
+  if [ -n "$WORKDIR" ]; then
+    git worktree remove --force "$WORKDIR/ref" >/dev/null 2>&1 || true
+    rm -rf "$WORKDIR"
+  fi
+}
+trap cleanup EXIT
+
+if [ "$REBASE" -eq 1 ]; then
+  # Resolve the rebase ref: explicit argument/env, else the commit that
+  # last touched the baseline file (whose tree produced its "current"
+  # numbers — the recorded "baseline_sha" is the PREVIOUS PR's ref and
+  # predates those benchmarks), else HEAD.
+  if [ -z "${REBASE_REF:-}" ]; then
+    REBASE_REF="$(git log -n1 --format=%H -- "$BASELINE" 2>/dev/null || true)"
+  fi
+  if [ -z "${REBASE_REF:-}" ] || ! git rev-parse --verify --quiet "${REBASE_REF}^{commit}" >/dev/null; then
+    echo "bench-regress: --rebase: ref '${REBASE_REF:-}' not resolvable; using HEAD" >&2
+    REBASE_REF=HEAD
+  fi
+  REBASE_OUT="${REBASE_OUT:-BENCH_local.json}"
+  WORKDIR="$(mktemp -d)"
+  echo "bench-regress: --rebase: measuring baseline $REBASE_REF on this machine" >&2
+  git worktree add --detach "$WORKDIR/ref" "$REBASE_REF" >/dev/null
+  REBASE_RAW="$WORKDIR/raw.txt"
+  (cd "$WORKDIR/ref" && go test -run xxx -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS) | tee "$REBASE_RAW" >&2
+  awk '/^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = "null"; bop = "null"; aop = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+      }
+      print name "\t" ns "\t" bop "\t" aop
+    }' "$REBASE_RAW" > "$WORKDIR/ref.tsv"
+  if [ ! -s "$WORKDIR/ref.tsv" ]; then
+    echo "bench-regress: --rebase: no benchmarks at $REBASE_REF" >&2
+    exit 1
+  fi
+  # Emit the local baseline in the bench-compare format, so the rest of the
+  # script (and future runs passing it as [baseline.json]) consume it
+  # unchanged.
+  awk -v ref="$REBASE_REF" -v refsha="$(git rev-parse "$REBASE_REF")" -v benchtime="$BENCHTIME" '
+    function emit(file,   line, f, sep, out) {
+      sep = ""; out = ""
+      while ((getline line < file) > 0) {
+        split(line, f, "\t")
+        out = out sep sprintf("\n    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", f[1], f[2], f[3], f[4])
+        sep = ","
+      }
+      close(file)
+      return out
+    }
+    BEGIN {
+      printf "{\n"
+      printf "  \"baseline_ref\": \"%s\",\n", ref
+      printf "  \"baseline_sha\": \"%s\",\n", refsha
+      printf "  \"benchtime\": \"%s\",\n", benchtime
+      printf "  \"rebased\": true,\n"
+      printf "  \"current\": {%s\n  }\n", emit(ARGV[1])
+      printf "}\n"
+    }
+  ' "$WORKDIR/ref.tsv" > "$REBASE_OUT"
+  echo "bench-regress: --rebase: wrote local baseline $REBASE_OUT (ref $REBASE_REF)" >&2
+  BASELINE="$REBASE_OUT"
+fi
 
 echo "bench-regress: running micro-benchmarks (benchtime $BENCHTIME) against $BASELINE" >&2
 go test -run xxx -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW" >&2
