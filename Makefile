@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase fuzz-smoke serve-smoke
+.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase fuzz-smoke fuzz-diff fuzz-diff-smoke serve-smoke
 
 check: vet doclint build race
 
@@ -54,6 +54,20 @@ bench-regress-rebase:
 # `go run ./cmd/zac-fuzz -duration 10m`.
 fuzz-smoke:
 	$(GO) run ./cmd/zac-fuzz -smoke
+
+# Differential oracle gate: cross-check every registry compiler over the
+# pinned smoke specs (compile-outcome agreement, ZAIR replay, resource
+# accounting, repeat-compile determinism, ablation fidelity ordering) and
+# print the per-class divergence summary with feature counters. ~seconds.
+fuzz-diff-smoke:
+	$(GO) run ./cmd/zac-fuzz -diff -smoke
+
+# Coverage-guided differential fuzzing: the smoke specs seed a mutation
+# loop (spec parameters + gate-level edits) steered by per-pass and
+# planner-branch feature counters; divergences shrink into corpus/.
+# Longer random runs: `go run ./cmd/zac-fuzz -diff -n 100 -mutate 200`.
+fuzz-diff:
+	$(GO) run ./cmd/zac-fuzz -diff -smoke -mutate 64 -corpus corpus
 
 # Boot zac-serve against a throwaway cache dir, probe /healthz, compile one
 # circuit, and check /metrics — the same smoke CI runs.

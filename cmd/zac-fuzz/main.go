@@ -1,11 +1,19 @@
-// Command zac-fuzz is the compile→verify round-trip fuzzer: it generates
-// circuits from the workload forge (pinned specs or a seeded random stream),
-// round-trips each through the QASM writer/parser and every registry
-// compiler, and verifies the invariants the hardware imposes — ZAIR replay
-// (qubit conservation, AOD exclusivity, tone ordering), gate-set legality of
-// the staged program, statevector equivalence at small widths, and fidelity
-// sanity. Any failing input is greedily shrunk to a minimal reproduction and
-// printed as OpenQASM, ready to replay with `zac -qasm`.
+// Command zac-fuzz is the compile→verify round-trip fuzzer and the
+// differential compile oracle: it generates circuits from the workload forge
+// (pinned specs or a seeded random stream) and checks them one of two ways.
+//
+// The default round-trip mode runs each circuit through the QASM
+// writer/parser and every registry compiler and verifies the invariants the
+// hardware imposes — ZAIR replay (qubit conservation, AOD exclusivity, tone
+// ordering), gate-set legality of the staged program, statevector
+// equivalence at small widths, and fidelity sanity.
+//
+// Differential mode (-diff) cross-checks the registry compilers against each
+// other: compile-outcome agreement, replay verification, resource-accounting
+// consistency, repeat-compile determinism, and ablation fidelity ordering.
+// With -mutate it adds a coverage-guided mutation loop driven by per-pass
+// and planner-branch feature counters. Any divergence is greedily shrunk to
+// a minimal reproduction and, with -corpus, persisted as a QASM repro file.
 //
 //	zac-fuzz                                    # 25 random specs, all compilers
 //	zac-fuzz -n 200 -seed 42                    # bigger seeded run
@@ -13,49 +21,81 @@
 //	zac-fuzz -spec "rb:n=32,depth=20,seed=7"    # exact specs (';'-separated)
 //	zac-fuzz -smoke                             # the pinned CI specs (make fuzz-smoke)
 //	zac-fuzz -compilers zac,enola -simmax 12
+//	zac-fuzz -diff -smoke                       # differential oracle over the pinned specs
+//	zac-fuzz -diff -mutate 64 -corpus corpus/   # coverage-guided differential fuzzing
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
+	"zac/internal/compiler"
+	"zac/internal/difftest"
 	"zac/internal/workload"
 )
 
 func main() {
-	os.Exit(run())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	specsFlag := flag.String("spec", "", "';'-separated workload specs to round-trip (disables random fuzzing)")
-	smoke := flag.Bool("smoke", false, "run the pinned CI smoke specs (same as make fuzz-smoke)")
-	n := flag.Int("n", 25, "random specs to fuzz when no -spec/-smoke is given")
-	seed := flag.Int64("seed", 1, "base seed of the random spec stream (runs are reproducible per seed)")
-	duration := flag.Duration("duration", 0, "fuzz until this much time has passed (overrides -n; for nightly runs)")
-	compilers := flag.String("compilers", "", "comma-separated registry compilers (default: whole registry)")
-	simMax := flag.Int("simmax", 10, "max qubits for statevector equivalence checks")
-	noShrink := flag.Bool("noshrink", false, "report failures without minimizing them")
-	listWorkloads := flag.Bool("list-workloads", false, "list generator families with parameter schemas and exit")
-	verbose := flag.Bool("v", false, "print one line per (spec, stage) check")
-	flag.Parse()
+// run is the testable entry point: it parses args with its own FlagSet,
+// writes to the given streams, and returns the process exit code (0 clean,
+// 1 invariant violations or divergences or bad -compilers, 2 usage or
+// harness errors).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zac-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specsFlag := fs.String("spec", "", "';'-separated workload specs to check (disables random fuzzing)")
+	smoke := fs.Bool("smoke", false, "run the pinned CI smoke specs (same as make fuzz-smoke)")
+	n := fs.Int("n", 25, "random specs to fuzz when no -spec/-smoke is given")
+	seed := fs.Int64("seed", 1, "base seed of the random spec stream (runs are reproducible per seed)")
+	duration := fs.Duration("duration", 0, "fuzz until this much time has passed (overrides -n; for nightly runs)")
+	compilers := fs.String("compilers", "", "comma-separated registry compilers (default: whole registry)")
+	simMax := fs.Int("simmax", 10, "max qubits for statevector equivalence checks")
+	noShrink := fs.Bool("noshrink", false, "report failures without minimizing them")
+	listWorkloads := fs.Bool("list-workloads", false, "list generator families with parameter schemas and exit")
+	verbose := fs.Bool("v", false, "print one line per (spec, stage) check")
+	diff := fs.Bool("diff", false, "differential mode: cross-check compilers against each other")
+	mutate := fs.Int("mutate", 0, "differential mode: coverage-guided mutation iterations after the seeds")
+	corpus := fs.String("corpus", "", "differential mode: persist minimized repros to this directory")
+	fidTol := fs.Float64("fidtol", 0, "differential mode: ablation fidelity-ordering tolerance (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listWorkloads {
-		fmt.Print(workload.List())
+		fmt.Fprint(stdout, workload.List())
 		return 0
 	}
 
-	opts := workload.FuzzOptions{SimMax: *simMax, NoShrink: *noShrink}
+	// Validate -compilers up front against the registry, whatever the mode:
+	// a typo should fail fast with the valid list, not surface as a
+	// per-spec error deep into a run.
+	var selected []string
 	if *compilers != "" {
-		opts.Compilers = strings.Split(*compilers, ",")
+		for _, name := range strings.Split(*compilers, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := compiler.Get(name); err != nil {
+				fmt.Fprintf(stderr, "zac-fuzz: unknown compiler %q (valid: %s)\n",
+					name, strings.Join(compiler.Names(), ", "))
+				return 1
+			}
+			selected = append(selected, name)
+		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	if *duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *duration)
@@ -74,17 +114,27 @@ func run() int {
 		specs = workload.SmokeSpecs()
 	}
 
+	if *diff {
+		return runDiff(ctx, diffConfig{
+			specs: specs, n: *n, seed: *seed, duration: *duration,
+			compilers: selected, mutate: *mutate, corpus: *corpus,
+			fidTol: *fidTol, noShrink: *noShrink, verbose: *verbose,
+		}, stdout, stderr)
+	}
+
+	opts := workload.FuzzOptions{SimMax: *simMax, NoShrink: *noShrink, Compilers: selected}
+
 	start := time.Now()
 	ran, failed := 0, 0
 	runOne := func(spec string) error {
-		failures, err := RoundTripVerbose(ctx, spec, opts, *verbose)
+		failures, err := roundTripVerbose(ctx, spec, opts, *verbose, stderr)
 		if err != nil {
 			return err
 		}
 		ran++
 		for _, f := range failures {
 			failed++
-			fmt.Printf("FAIL %s\n", f)
+			fmt.Fprintf(stdout, "FAIL %s\n", f)
 		}
 		return nil
 	}
@@ -112,11 +162,11 @@ func run() int {
 		}
 	}
 	if runErr != nil && ctx.Err() == nil {
-		fmt.Fprintf(os.Stderr, "zac-fuzz: %v\n", runErr)
+		fmt.Fprintf(stderr, "zac-fuzz: %v\n", runErr)
 		return 2
 	}
 
-	fmt.Printf("zac-fuzz: %d specs round-tripped in %s, %d invariant violations\n",
+	fmt.Fprintf(stdout, "zac-fuzz: %d specs round-tripped in %s, %d invariant violations\n",
 		ran, time.Since(start).Round(time.Millisecond), failed)
 	if failed > 0 {
 		return 1
@@ -124,10 +174,103 @@ func run() int {
 	return 0
 }
 
-// RoundTripVerbose wraps workload.RoundTrip with per-spec progress output.
-func RoundTripVerbose(ctx context.Context, spec string, opts workload.FuzzOptions, verbose bool) ([]workload.Failure, error) {
+// diffConfig carries the differential-mode settings from flag parsing to
+// runDiff.
+type diffConfig struct {
+	specs     []string
+	n         int
+	seed      int64
+	duration  time.Duration
+	compilers []string
+	mutate    int
+	corpus    string
+	fidTol    float64
+	noShrink  bool
+	verbose   bool
+}
+
+// runDiff drives the differential oracle: the selected specs (or a seeded
+// random stream) become the seed pool, -mutate adds coverage-guided
+// iterations, and the run ends with a per-class divergence summary plus the
+// feature counters. Exit code 1 when any divergence was found.
+func runDiff(ctx context.Context, cfg diffConfig, stdout, stderr io.Writer) int {
+	oracle, err := difftest.New(difftest.Options{
+		Compilers:   cfg.compilers,
+		FidelityTol: cfg.fidTol,
+		NoShrink:    cfg.noShrink,
+		CorpusDir:   cfg.corpus,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "zac-fuzz: %v\n", err)
+		return 2
+	}
+
+	seeds := cfg.specs
+	if seeds == nil {
+		// Seed the pool from the random stream, discarding widths beyond
+		// the oracle's bound (platform capacities legitimately diverge
+		// above it).
+		r := workload.NewRNG(cfg.seed)
+		for tries := 0; len(seeds) < cfg.n && tries < cfg.n*10; tries++ {
+			s := workload.RandomSpec(r)
+			c, err := s.Generate()
+			if err != nil || c.NumQubits > difftest.DefaultMaxQubits {
+				continue
+			}
+			seeds = append(seeds, s.Canonical())
+		}
+	}
+	if cfg.verbose {
+		for _, s := range seeds {
+			fmt.Fprintf(stderr, "[diff] seed %s\n", s)
+		}
+	}
+
+	start := time.Now()
+	lr, err := oracle.RunLoop(ctx, difftest.LoopOptions{
+		Seeds:      seeds,
+		Iterations: cfg.mutate,
+		Seed:       cfg.seed,
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintf(stderr, "zac-fuzz: %v\n", err)
+		return 2
+	}
+
+	for _, d := range lr.Divergences {
+		fmt.Fprintf(stdout, "DIVERGE %s\n", d)
+	}
+	summary := difftest.Summarize(lr.Divergences)
+	fmt.Fprintf(stdout, "zac-fuzz -diff: %d compilers, %d inputs in %s, %s\n",
+		len(oracle.Compilers()), lr.Inputs, time.Since(start).Round(time.Millisecond), summary)
+	fmt.Fprintf(stdout, "features reached: %d (seeds alone: %d, new via mutation: %d)\n",
+		len(lr.Features), len(lr.BaselineFeatures), len(lr.NewFeatures))
+	if cfg.verbose {
+		feats := make([]string, 0, len(lr.Features))
+		for f := range lr.Features {
+			feats = append(feats, f)
+		}
+		sort.Strings(feats)
+		for _, f := range feats {
+			fmt.Fprintf(stdout, "  %-40s %d\n", f, lr.Features[f])
+		}
+	}
+	for _, f := range lr.NewFeatures {
+		fmt.Fprintf(stdout, "  new: %s\n", f)
+	}
+	for _, p := range summary.Corpus {
+		fmt.Fprintf(stdout, "corpus: %s\n", p)
+	}
+	if summary.Total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// roundTripVerbose wraps workload.RoundTrip with per-spec progress output.
+func roundTripVerbose(ctx context.Context, spec string, opts workload.FuzzOptions, verbose bool, stderr io.Writer) ([]workload.Failure, error) {
 	if verbose {
-		fmt.Fprintf(os.Stderr, "[fuzz] %s\n", spec)
+		fmt.Fprintf(stderr, "[fuzz] %s\n", spec)
 	}
 	return workload.RoundTrip(ctx, spec, opts)
 }

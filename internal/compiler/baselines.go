@@ -86,6 +86,10 @@ func init() {
 		{"zac-vanilla", core.SettingVanilla},
 		{"zac-dynplace", core.SettingDynPlace},
 		{"zac-dynplace-reuse", core.SettingDynPlaceReuse},
+		// The paper's §X advanced-reuse path, promoted from an experiment-only
+		// Options override to a first-class compiler so it gets the same
+		// conformance and fuzz scrutiny as everything else.
+		{"zac-advreuse", core.SettingAdvReuse},
 	} {
 		Register(&zacCompiler{name: z.name, setting: z.setting})
 		RegisterAlias(z.setting, z.name)

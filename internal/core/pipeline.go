@@ -7,6 +7,7 @@ import (
 
 	"zac/internal/arch"
 	"zac/internal/circuit"
+	"zac/internal/cover"
 	"zac/internal/fidelity"
 	"zac/internal/place"
 	"zac/internal/schedule"
@@ -168,6 +169,7 @@ func FidelityPass() Pass {
 // abandoned compilation stops mid-pass instead of running to completion.
 func (p *Pipeline) Run(ctx context.Context, staged *circuit.Staged, a *arch.Architecture, opts Options, hooks Hooks) (*Result, error) {
 	st := &PassState{Arch: a, Staged: staged, Opts: opts, Hooks: hooks, start: time.Now()}
+	cov := cover.From(ctx)
 	timings := make([]PassTiming, 0, len(p.passes))
 	for _, pass := range p.passes {
 		if err := ctx.Err(); err != nil {
@@ -177,6 +179,12 @@ func (p *Pipeline) Run(ctx context.Context, staged *circuit.Staged, a *arch.Arch
 		t0 := time.Now()
 		if err := pass.Run(ctx, st); err != nil {
 			return nil, fmt.Errorf("%s pass: %w", pass.Name, err)
+		}
+		if cov != nil {
+			cov.Hit("pass:" + pass.Name)
+			if st.cached {
+				cov.Hit("pass:" + pass.Name + ":cached")
+			}
 		}
 		timings = append(timings, PassTiming{Pass: pass.Name, Duration: time.Since(t0), Cached: st.cached})
 	}

@@ -23,12 +23,14 @@ type Options struct {
 	Place place.Options
 }
 
-// Ablation presets matching the paper's Fig. 11 legend.
+// Ablation presets matching the paper's Fig. 11 legend, plus the §X
+// advanced-reuse path (full ZAC with in-zone site-to-site movement).
 const (
 	SettingVanilla         = "Vanilla"
 	SettingDynPlace        = "dynPlace"
 	SettingDynPlaceReuse   = "dynPlace+reuse"
 	SettingSADynPlaceReuse = "SA+dynPlace+reuse"
+	SettingAdvReuse        = "SA+dynPlace+advReuse"
 )
 
 // OptionsFor returns the option preset for one of the ablation settings; the
@@ -44,6 +46,8 @@ func OptionsFor(setting string) Options {
 		o.UseSA, o.Dynamic, o.Reuse = false, true, true
 	case SettingSADynPlaceReuse:
 		// defaults
+	case SettingAdvReuse:
+		o.AdvancedReuse = true
 	}
 	return Options{Place: o}
 }

@@ -1,0 +1,232 @@
+package difftest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zac/internal/arch"
+	"zac/internal/circuit"
+	"zac/internal/compiler"
+	"zac/internal/core"
+	"zac/internal/workload"
+)
+
+// stubCompiler wraps a real registry compiler and corrupts its results —
+// the seam the seeded-violation tests use to prove the oracle detects,
+// classifies, and shrinks each divergence class. It is never registered
+// globally; NewWith injects it directly.
+type stubCompiler struct {
+	inner   compiler.Compiler
+	name    string
+	corrupt func(res *core.Result, call int)
+	calls   int
+}
+
+func (s *stubCompiler) Name() string { return s.name }
+
+func (s *stubCompiler) Compile(ctx context.Context, staged *circuit.Staged, a *arch.Architecture, opts compiler.Options) (*core.Result, error) {
+	res, err := s.inner.Compile(ctx, staged, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.calls++
+	s.corrupt(res, s.calls)
+	return res, nil
+}
+
+func mustGet(t testing.TB, name string) compiler.Compiler {
+	t.Helper()
+	c, err := compiler.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func genCircuit(t testing.TB, spec string) *circuit.Circuit {
+	t.Helper()
+	s, err := workload.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// classes returns the distinct classes present in a divergence list.
+func classes(divs []Divergence) map[Class]bool {
+	m := map[Class]bool{}
+	for _, d := range divs {
+		m[d.Class] = true
+	}
+	return m
+}
+
+// TestSeededAccountingViolation plants an off-by-one in the reported move
+// counter and asserts the oracle detects it, classifies it as accounting,
+// shrinks the repro to ≤ 20 gates, and persists it to the corpus.
+func TestSeededAccountingViolation(t *testing.T) {
+	stub := &stubCompiler{
+		inner: mustGet(t, "zac"), name: "stub-acct",
+		corrupt: func(res *core.Result, _ int) { res.TotalMoves++ },
+	}
+	dir := filepath.Join(t.TempDir(), "corpus")
+	o := NewWith([]compiler.Compiler{stub}, Options{CorpusDir: dir})
+	divs, err := o.Check(context.Background(), genCircuit(t, "shuffle:n=10,depth=4,seed=7"), "seeded-acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) == 0 {
+		t.Fatal("seeded accounting violation not detected")
+	}
+	got := classes(divs)
+	if !got[ClassAccounting] {
+		t.Fatalf("violation classified as %v, want %s", got, ClassAccounting)
+	}
+	for _, d := range divs {
+		if d.Class != ClassAccounting {
+			t.Errorf("unexpected extra divergence: %s", d)
+			continue
+		}
+		if !strings.Contains(d.Detail, "move accounting") {
+			t.Errorf("detail %q does not name the broken counter", d.Detail)
+		}
+		if d.Gates > 20 {
+			t.Errorf("repro has %d gates, want ≤ 20", d.Gates)
+		}
+		if d.QASM == "" {
+			t.Error("divergence carries no QASM repro")
+		}
+		if d.CorpusPath == "" {
+			t.Error("divergence not persisted to corpus")
+		} else if _, err := os.Stat(d.CorpusPath); err != nil {
+			t.Errorf("corpus file missing: %v", err)
+		}
+	}
+}
+
+// TestSeededDeterminismViolation makes every second compilation differ and
+// asserts the determinism cross-check catches it.
+func TestSeededDeterminismViolation(t *testing.T) {
+	stub := &stubCompiler{
+		inner: mustGet(t, "zac"), name: "stub-det",
+		corrupt: func(res *core.Result, call int) {
+			if call%2 == 0 {
+				res.Breakdown.Total *= 0.999
+			}
+		},
+	}
+	o := NewWith([]compiler.Compiler{stub}, Options{})
+	divs, err := o.Check(context.Background(), genCircuit(t, "rb:n=6,depth=4,seed=7"), "seeded-det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !classes(divs)[ClassDeterminism] {
+		t.Fatalf("seeded determinism violation not detected: %v", divs)
+	}
+	for _, d := range divs {
+		if d.Class == ClassDeterminism && !strings.Contains(d.Detail, "not byte-identical") {
+			t.Errorf("detail %q does not describe the hash mismatch", d.Detail)
+		}
+	}
+}
+
+// TestSeededFidelityOrderViolation halves the full configuration's
+// fidelity so its own ablation beats it, and asserts the ordering check
+// catches the inverted pair.
+func TestSeededFidelityOrderViolation(t *testing.T) {
+	stub := &stubCompiler{
+		inner: mustGet(t, "zac"), name: "zac", // chain position of the full config
+		corrupt: func(res *core.Result, _ int) { res.Breakdown.Total *= 0.5 },
+	}
+	o := NewWith([]compiler.Compiler{mustGet(t, "zac-vanilla"), stub}, Options{})
+	divs, err := o.Check(context.Background(), genCircuit(t, "qaoa:n=10,p=2,seed=7"), "seeded-fid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !classes(divs)[ClassFidelityOrder] {
+		t.Fatalf("seeded fidelity-order violation not detected: %v", divs)
+	}
+	for _, d := range divs {
+		if d.Class == ClassFidelityOrder && d.Compiler != "zac-vanilla>zac" {
+			t.Errorf("pair = %q, want zac-vanilla>zac", d.Compiler)
+		}
+	}
+}
+
+// TestSeededSanityViolation pushes a fidelity term outside [0,1].
+func TestSeededSanityViolation(t *testing.T) {
+	stub := &stubCompiler{
+		inner: mustGet(t, "zac"), name: "stub-sane",
+		corrupt: func(res *core.Result, _ int) { res.Breakdown.Total = 1.5 },
+	}
+	o := NewWith([]compiler.Compiler{stub}, Options{})
+	divs, err := o.Check(context.Background(), genCircuit(t, "ising:n=10,layers=2"), "seeded-sane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !classes(divs)[ClassSanity] {
+		t.Fatalf("seeded sanity violation not detected: %v", divs)
+	}
+}
+
+// TestSeededCompileViolation makes one compiler reject everything another
+// accepts.
+func TestSeededCompileViolation(t *testing.T) {
+	o := NewWith([]compiler.Compiler{mustGet(t, "zac"), failCompiler{}}, Options{})
+	divs, err := o.Check(context.Background(), genCircuit(t, "rb:n=6,depth=4,seed=7"), "seeded-compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !classes(divs)[ClassCompile] {
+		t.Fatalf("seeded compile disagreement not detected: %v", divs)
+	}
+	for _, d := range divs {
+		if d.Class == ClassCompile && !strings.Contains(d.Detail, "zac accepted") {
+			t.Errorf("detail %q does not name the witness", d.Detail)
+		}
+	}
+}
+
+// failCompiler rejects every input.
+type failCompiler struct{}
+
+func (failCompiler) Name() string { return "stub-fail" }
+func (failCompiler) Compile(context.Context, *circuit.Staged, *arch.Architecture, compiler.Options) (*core.Result, error) {
+	return nil, context.DeadlineExceeded
+}
+
+// TestPanickingCompilerIsContained: a compiler that panics must surface as
+// a compile-outcome divergence, not kill the process.
+func TestPanickingCompilerIsContained(t *testing.T) {
+	o := NewWith([]compiler.Compiler{mustGet(t, "zac"), panicCompiler{}}, Options{NoShrink: true})
+	divs, err := o.Check(context.Background(), genCircuit(t, "rb:n=6,depth=4,seed=7"), "seeded-panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range divs {
+		if d.Class == ClassCompile && d.Compiler == "stub-panic" {
+			found = true
+			if !strings.Contains(d.Detail, "panicked") {
+				t.Errorf("detail %q does not mention the panic", d.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("panicking compiler not reported: %v", divs)
+	}
+}
+
+type panicCompiler struct{}
+
+func (panicCompiler) Name() string { return "stub-panic" }
+func (panicCompiler) Compile(context.Context, *circuit.Staged, *arch.Architecture, compiler.Options) (*core.Result, error) {
+	panic("stub-panic always panics")
+}

@@ -1,0 +1,10 @@
+// difftest repro
+// class: accounting
+// compiler: stub-acct
+// input: seeded-acct
+// detail: move accounting: program replays 48 qubit movements, result reports 49
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cz q[3],q[1];
+cz q[2],q[0];

@@ -1,0 +1,10 @@
+// difftest repro
+// class: determinism
+// compiler: stub-det
+// input: seeded-det
+// detail: repeat compile not byte-identical: 28602b8886cf vs 5b79b2b561c7
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cz q[0],q[1];
+cz q[2],q[3];

@@ -1,0 +1,9 @@
+// difftest repro
+// class: fidelity-order
+// compiler: zac-vanilla>zac
+// input: seeded-fid
+// detail: ablation zac-vanilla fidelity 0.392294 beats zac fidelity 0.300964 beyond tolerance 0.15
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rzz(0.8) q[0],q[1];

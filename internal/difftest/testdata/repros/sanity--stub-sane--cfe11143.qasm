@@ -1,0 +1,9 @@
+// difftest repro
+// class: sanity
+// compiler: stub-sane
+// input: seeded-sane
+// detail: fidelity term total = 1.5 outside [0,1]
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rzz(0.2) q[0],q[1];

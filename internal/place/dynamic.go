@@ -5,6 +5,7 @@ import (
 
 	"zac/internal/arch"
 	"zac/internal/circuit"
+	"zac/internal/cover"
 	"zac/internal/geom"
 	"zac/internal/matching"
 )
@@ -205,6 +206,7 @@ func gatePlacement(
 	held map[arch.SiteRef][]int, // site → zone-resident qubits still there
 	delta int,
 	sc *transitionScratch,
+	cov *cover.Set,
 ) ([]arch.SiteRef, float64, error) {
 	if len(gateIdx) == 0 {
 		return nil, 0, nil
@@ -219,6 +221,9 @@ func gatePlacement(
 		}
 	}
 	for d := delta; d <= maxDelta; d *= 2 {
+		if d > delta {
+			cov.Hit("place:gateplace:expand")
+		}
 		assign, cost, err := tryGatePlacement(a, gates, gateIdx, pos, lookahead, held, d, sc)
 		if err == nil {
 			return assign, cost, nil
@@ -344,11 +349,18 @@ func returnPlacement(
 	k int,
 	alpha float64,
 	sc *transitionScratch,
+	cov *cover.Set,
 ) ([]arch.TrapRef, float64, error) {
 	if len(qubits) == 0 {
 		return nil, 0, nil
 	}
 	for attempt, kk := 0, k; attempt < 4; attempt, kk = attempt+1, kk*2+1 {
+		if attempt > 0 {
+			cov.Hit("place:returns:expand")
+		}
+		if attempt == 3 {
+			cov.Hit("place:returns:all-traps")
+		}
 		assign, cost, err := tryReturnPlacement(a, qubits, pos, home, related, occ, kk, alpha, attempt == 3, sc)
 		if err == nil {
 			return assign, cost, nil

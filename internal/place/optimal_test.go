@@ -36,7 +36,7 @@ func TestGatePlacementMatchesBruteForce(t *testing.T) {
 	}
 	gateIdx := []int{0, 1, 2}
 	sc := newTransitionScratch(a, 6)
-	assign, _, err := gatePlacement(a, gates, gateIdx, pos, nil, nil, 2, sc)
+	assign, _, err := gatePlacement(a, gates, gateIdx, pos, nil, nil, 2, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestReturnPlacementMatchesBruteForce(t *testing.T) {
 
 	qubits := []int{0, 1}
 	sc := newTransitionScratch(a, 4)
-	assign, got, err := returnPlacement(a, qubits, pos, home, related, occupied, 2, alpha, sc)
+	assign, got, err := returnPlacement(a, qubits, pos, home, related, occupied, 2, alpha, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"zac/internal/arch"
 	"zac/internal/circuit"
+	"zac/internal/cover"
 	"zac/internal/engine"
 )
 
@@ -119,6 +120,7 @@ type planner struct {
 	home    []arch.TrapRef // last storage trap per qubit
 	occ     []int          // trap ordinal → qubit, -1 = free
 	scratch [2]*transitionScratch
+	cov     *cover.Set // nil unless the context carries a collector
 }
 
 // BuildPlan runs the full placement pipeline (§V). The context is checked
@@ -138,12 +140,15 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 			staged.NumQubits, a.TotalStorageTraps())
 	}
 
+	cov := cover.From(ctx)
 	var initial []arch.TrapRef
 	var err error
 	if opts.UseSA {
+		cov.Hit("place:init:sa")
 		r := rand.New(rand.NewSource(opts.Seed))
 		initial, err = SAInitial(a, staged, opts.SAIterations, r)
 	} else {
+		cov.Hit("place:init:trivial")
 		initial, err = TrivialInitial(a, staged.NumQubits)
 	}
 	if err != nil {
@@ -155,6 +160,7 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 		pos:  make([]Pos, staged.NumQubits),
 		home: append([]arch.TrapRef(nil), initial...),
 		occ:  newOccupancy(a),
+		cov:  cov,
 	}
 	pl.scratch[0] = newTransitionScratch(a, staged.NumQubits)
 	pl.scratch[1] = newTransitionScratch(a, staged.NumQubits)
@@ -181,6 +187,7 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 
 		var sol transitionSolution
 		if opts.Reuse && prev != nil {
+			cov.Hit("place:transition:candidates")
 			// Solve the reuse and no-reuse candidates concurrently — they
 			// only read planner state and each owns one scratch set — then
 			// pick exactly as the sequential code did: the reuse solve's
@@ -199,8 +206,12 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 			sol = sols[0]
 			if errs[1] == nil && sols[1].cost < sol.cost {
 				sol = sols[1]
+				cov.Hit("place:transition:noreuse-wins")
+			} else {
+				cov.Hit("place:transition:reuse-wins")
 			}
 		} else {
+			cov.Hit("place:transition:plain")
 			sol, err = pl.solveTransition(prev, cur, next, false, pl.scratch[0])
 			if err != nil {
 				return nil, err
@@ -219,6 +230,7 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 
 	// Final returns: everything still in the entanglement zone goes home.
 	if len(plan.Steps) > 0 {
+		cov.Hit("place:final-returns")
 		last := &plan.Steps[len(plan.Steps)-1]
 		sol, err := pl.solveReturns(last, nil, nil, pl.scratch[0])
 		if err != nil {
@@ -258,6 +270,7 @@ func (pl *planner) solveTransition(prev *Step, cur, next []circuit.Gate, useReus
 		if !cyclic || attempt >= 2*len(cur)+4 {
 			return sol, nil
 		}
+		pl.cov.Hit("place:cycle-fallback")
 		sc.banned[q] = true
 	}
 }
@@ -390,6 +403,9 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 				}
 			}
 		}
+		if len(held) > 0 {
+			pl.cov.Hit("place:advanced-stay")
+		}
 	}
 
 	// 2. Returns for the previous stage's non-staying qubits. These execute
@@ -435,7 +451,7 @@ func (pl *planner) solveTransitionOnce(prev *Step, cur, next []circuit.Gate, use
 			sc.gateIdx = append(sc.gateIdx, j)
 		}
 	}
-	assign, _, err := gatePlacement(a, cur, sc.gateIdx, posView, sc.lookahead, held, pl.opts.Expansion, sc)
+	assign, _, err := gatePlacement(a, cur, sc.gateIdx, posView, sc.lookahead, held, pl.opts.Expansion, sc, pl.cov)
 	if err != nil {
 		return sol, err
 	}
@@ -531,7 +547,8 @@ func (pl *planner) solveReturns(prev *Step, stay []bool, cur []circuit.Gate, sc 
 
 	var moves []Move
 	if pl.opts.Dynamic {
-		assign, _, err := returnPlacement(a, leaving, pl.pos, pl.home, sc.related, pl.occ, pl.opts.KNeighbors, pl.opts.Alpha, sc)
+		pl.cov.Hit("place:returns:dynamic")
+		assign, _, err := returnPlacement(a, leaving, pl.pos, pl.home, sc.related, pl.occ, pl.opts.KNeighbors, pl.opts.Alpha, sc, pl.cov)
 		if err != nil {
 			return nil, err
 		}
@@ -539,6 +556,7 @@ func (pl *planner) solveReturns(prev *Step, stay []bool, cur []circuit.Gate, sc 
 			moves = append(moves, Move{Qubit: q, From: pl.pos[q], To: StoragePos(assign[i])})
 		}
 	} else {
+		pl.cov.Hit("place:returns:static")
 		for _, q := range leaving {
 			moves = append(moves, Move{Qubit: q, From: pl.pos[q], To: StoragePos(pl.home[q])})
 		}

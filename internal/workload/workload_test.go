@@ -123,20 +123,66 @@ func TestCanonicalSpec(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	cases := map[string]string{
-		"unknown family": "frobnicate:n=4",
-		"unknown param":  "rb:bogus=4",
-		"bad int":        "rb:n=four",
-		"below min":      "rb:n=0",
-		"above max":      "clifford:t=200",
-		"duplicate":      "rb:n=4,n=5",
-		"malformed":      "rb:n",
-		"empty":          "",
+	// Each case pins both that Parse rejects the spec and what the error
+	// says — the messages are user-facing via `zac -circuit spec:` and
+	// `zac-fuzz -spec`, so a regression here is a UX regression.
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"unknown family", "frobnicate:n=4", `unknown family "frobnicate"`},
+		{"unknown param", "rb:bogus=4", `unknown parameter "bogus"`},
+		{"bad int", "rb:n=four", `bad integer "four"`},
+		{"below min", "rb:n=0", "out of range"},
+		{"above max", "clifford:t=200", "out of range"},
+		{"duplicate", "rb:n=4,n=5", `duplicate parameter "n"`},
+		{"malformed", "rb:n", "malformed parameter"},
+		{"empty", "", "empty spec"},
+		{"empty family", ":n=4", "empty spec"},
 	}
-	for name, spec := range cases {
-		if _, err := Parse(spec); err == nil {
-			t.Errorf("%s (%q): expected error", name, spec)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.spec)
+			if err == nil {
+				t.Fatalf("Parse(%q): expected error", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Parse(%q) error %q does not mention %q", tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGateBudgetOverflow(t *testing.T) {
+	// Budget enforcement happens at generation time (the closed-form
+	// estimate runs before any gate is allocated), not at parse time: the
+	// parameters individually sit within their schema bounds, only their
+	// product blows the budget.
+	cases := []string{
+		"rb:n=2048,depth=2048",      // 2·depth·(n+n/2) ≈ 1.2e7 ≫ 2^18
+		"shuffle:n=2048,depth=2048", // depth·(n+n/2)
+		"ising:n=2048,layers=512",   // n + layers·2n ≈ 2.1e6
+		"qaoa:n=2048,p=128",         // n + p·(n+3n/2) ≈ 6.6e5
+	}
+	for _, spec := range cases {
+		t.Run(spec, func(t *testing.T) {
+			s, err := Parse(spec)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v (budget must reject at Generate, not Parse)", spec, err)
+			}
+			if _, err := s.Generate(); err == nil {
+				t.Fatalf("Generate(%q): expected gate-budget error", spec)
+			} else if !strings.Contains(err.Error(), "budget") {
+				t.Errorf("Generate(%q) error %q does not mention the budget", spec, err)
+			}
+		})
+	}
+	// Just inside the budget still generates.
+	s, err := Parse("ising:n=64,layers=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Generate(); err != nil {
+		t.Errorf("in-budget spec rejected: %v", err)
 	}
 }
 
