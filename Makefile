@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase fuzz-smoke fuzz-diff fuzz-diff-smoke serve-smoke
+.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase benchsuite benchsuite-smoke benchsuite-report fuzz-smoke fuzz-diff fuzz-diff-smoke serve-smoke
 
 check: vet doclint build race
 
@@ -37,10 +37,29 @@ REF ?= HEAD
 bench-compare:
 	./scripts/bench-compare.sh $(REF)
 
-# Regression gate: rerun the micro-benchmarks, fail on >20% ns/op slowdown
-# vs the recorded BENCH_3.json numbers, and emit BENCH_4.json.
+# Regression gate: observatory run + Mann-Whitney gate vs the store's
+# previous commit on this machine; falls back to the >20% raw threshold vs
+# the recorded BENCH_3.json numbers when the store has no comparable
+# baseline yet, and emits BENCH_4.json either way.
 bench-regress:
 	./scripts/bench-regress.sh
+
+# Performance observatory (ISSUE 7): full micro matrix with statistical
+# repetitions into the persistent store, for trend queries and the
+# bench-regress gate. `zac-benchsuite -h` lists the other surfaces
+# (trend, report, gate, export).
+benchsuite:
+	$(GO) run ./cmd/zac-benchsuite run -matrix micro -reps 10 -store .zac-benchstore -progress
+
+# Render the observatory store as a markdown report on stdout.
+benchsuite-report:
+	$(GO) run ./cmd/zac-benchsuite report -store .zac-benchstore
+
+# Observatory smoke (CI): two smoke runs populate a throwaway store, a
+# trend query spans both, the gate passes a noise-only rerun and flags a
+# seeded 2× slowdown, and the report/export surfaces render.
+benchsuite-smoke:
+	./scripts/benchsuite-smoke.sh
 
 # Hardware-independent gate: regenerate the baseline ON THIS MACHINE at the
 # commit that recorded BENCH_3.json (throwaway worktree → BENCH_local.json),

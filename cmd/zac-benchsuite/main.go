@@ -1,0 +1,343 @@
+// Command zac-benchsuite is the performance observatory CLI: it executes
+// the declarative run matrix (placement micro kernels × forge workload
+// families × registry compilers × architectures) with warm-up and
+// repetition control, stamps every record with the machine fingerprint and
+// commit, appends to the persistent JSON-lines store, and answers trend
+// queries, renders markdown/HTML reports, runs the statistical regression
+// gate, and exports BENCH_N.json snapshots from the store.
+//
+// Subcommands (a bare flag list implies `run`):
+//
+//	zac-benchsuite run -smoke -store .zac-benchstore
+//	zac-benchsuite run -matrix micro -reps 10 -store .zac-benchstore
+//	zac-benchsuite run -matrix compile -compilers zac,enola -archs ref,triple
+//	zac-benchsuite trend -store .zac-benchstore -case micro/buildplan/qft_n18 -last 10
+//	zac-benchsuite report -store .zac-benchstore -format html -o report.html
+//	zac-benchsuite gate -store .zac-benchstore -baseline <sha> -current latest
+//	zac-benchsuite export -store .zac-benchstore -o BENCH_5.json
+//	zac-benchsuite fingerprint
+//
+// Exit codes: 0 success (gate: no regression), 1 gate regression, 2 error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+
+	"zac/internal/benchsuite"
+	"zac/internal/benchsuite/stats"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// defaultStore is the store directory used when -store is not given.
+const defaultStore = ".zac-benchstore"
+
+// run dispatches the subcommand and returns the process exit code; kept
+// separate from main so tests drive the full CLI in-process.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	switch cmd {
+	case "run":
+		return runMatrix(ctx, args, stdout, stderr)
+	case "trend":
+		return runTrend(args, stdout, stderr)
+	case "report":
+		return runReport(args, stdout, stderr)
+	case "gate":
+		return runGate(args, stdout, stderr)
+	case "export":
+		return runExport(args, stdout, stderr)
+	case "fingerprint":
+		fp := benchsuite.Machine()
+		fmt.Fprintf(stdout, "%s\n%s\n", fp.ID(), fp.String())
+		return 0
+	default:
+		fmt.Fprintf(stderr, "zac-benchsuite: unknown subcommand %q (have run, trend, report, gate, export, fingerprint)\n", cmd)
+		return 2
+	}
+}
+
+// fail prints an error and returns the error exit code.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "zac-benchsuite: %v\n", err)
+	return 2
+}
+
+// gitHead resolves the working tree's commit for record stamping, falling
+// back to "unknown" outside a git checkout.
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// splitList splits a separator-joined flag value, dropping empties.
+func splitList(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runMatrix executes the selected matrix and appends the records to the
+// store.
+func runMatrix(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", defaultStore, "results store directory (JSON-lines, one shard per machine fingerprint)")
+	smoke := fs.Bool("smoke", false, "tiny matrix (JV kernels + ZAC over two small forge specs), few repetitions")
+	matrix := fs.String("matrix", "all", "case selection: micro, compile, or all")
+	specs := fs.String("specs", "", "';'-separated forge workload specs for the compile matrix (default: pinned per-family sweep)")
+	compilers := fs.String("compilers", "", "comma-separated registry compilers for the compile matrix (default zac)")
+	archs := fs.String("archs", "", "comma-separated target architectures: "+strings.Join(benchsuite.ArchNames(), ", "))
+	reps := fs.Int("reps", 0, "timed repetitions per case (default 10; smoke default 3)")
+	warmup := fs.Int("warmup", 1, "discarded warm-up repetitions per case")
+	parallel := fs.Int("parallel", 1, "engine workers across cases (>1 only for plumbing smoke — parallel timing is noise)")
+	commit := fs.String("commit", "", "commit stamped into records (default: git rev-parse HEAD)")
+	handicap := fs.Float64("handicap", 0, "multiply recorded ns/op samples (gate self-test hook; 2 simulates a 2× slowdown)")
+	progress := fs.Bool("progress", false, "print one line per completed case")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var cases []benchsuite.Case
+	var err error
+	if *smoke {
+		cases, err = benchsuite.SmokeMatrix()
+		if *reps == 0 {
+			*reps = 3
+		}
+	} else {
+		cases, err = benchsuite.Matrix(splitList(*matrix, ","), splitList(*specs, ";"), splitList(*compilers, ","), splitList(*archs, ","))
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *reps == 0 {
+		*reps = 10
+	}
+	if *commit == "" {
+		*commit = gitHead()
+	}
+	cfg := benchsuite.RunConfig{
+		Warmup:   *warmup,
+		Reps:     *reps,
+		Workers:  *parallel,
+		Commit:   *commit,
+		Handicap: *handicap,
+	}
+	if *progress {
+		cfg.Progress = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+	records, err := benchsuite.Run(ctx, cases, cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	store, err := benchsuite.OpenStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := store.Append(records); err != nil {
+		return fail(stderr, err)
+	}
+	fp := benchsuite.Machine()
+	fmt.Fprintf(stdout, "zac-benchsuite: %d cases × %d reps appended to %s (machine %s, commit %s)\n",
+		len(records), *reps, *storeDir, fp.ID(), shortSHA(*commit))
+	for _, r := range records {
+		fmt.Fprintf(stdout, "  %-60s median %14.0f ns/op\n", r.Case, stats.Median(r.NsPerOp))
+	}
+	return 0
+}
+
+// runTrend prints one case's per-commit trajectory.
+func runTrend(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", defaultStore, "results store directory")
+	caseName := fs.String("case", "", "case name, e.g. micro/buildplan/qft_n18")
+	last := fs.Int("last", 10, "number of most recent commits to show (0 = all)")
+	machine := fs.String("machine", "", "machine id (default: this machine)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *caseName == "" {
+		return fail(stderr, fmt.Errorf("trend: -case is required"))
+	}
+	store, err := benchsuite.OpenStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *machine == "" {
+		*machine = benchsuite.Machine().ID()
+	}
+	points, err := store.Trend(*machine, *caseName, *last)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if len(points) == 0 {
+		return fail(stderr, fmt.Errorf("trend: no records for case %q on machine %s in %s", *caseName, *machine, *storeDir))
+	}
+	fmt.Fprintf(stdout, "%s on machine %s (last %d commits):\n", *caseName, *machine, len(points))
+	for _, p := range points {
+		fmt.Fprintf(stdout, "  %-14s n=%-3d median %14.0f ns/op  (min %.0f, max %.0f)\n",
+			shortSHA(p.Commit), p.Summary.N, p.Summary.Median, p.Summary.Min, p.Summary.Max)
+	}
+	return 0
+}
+
+// runReport renders the markdown or HTML report.
+func runReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", defaultStore, "results store directory")
+	format := fs.String("format", "md", "report format: md or html")
+	out := fs.String("o", "", "output file (default stdout)")
+	machine := fs.String("machine", "", "restrict to one machine id (default: all)")
+	last := fs.Int("last", 10, "trend depth in commits")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	store, err := benchsuite.OpenStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	opts := benchsuite.ReportOptions{MachineID: *machine, LastN: *last}
+	var body string
+	switch *format {
+	case "md", "markdown":
+		body, err = benchsuite.MarkdownReport(store, opts)
+	case "html":
+		body, err = benchsuite.HTMLReport(store, opts)
+	default:
+		err = fmt.Errorf("report: unknown format %q (md, html)", *format)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *out == "" {
+		fmt.Fprint(stdout, body)
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(body), 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "zac-benchsuite: wrote %s\n", *out)
+	return 0
+}
+
+// runGate compares two commits' records statistically; exit 1 flags a
+// regression.
+func runGate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", defaultStore, "results store directory")
+	baseline := fs.String("baseline", "", "baseline commit recorded in the store")
+	current := fs.String("current", "latest", "current commit recorded in the store (default: most recent)")
+	machine := fs.String("machine", "", "machine id (default: this machine); cross-machine comparison is refused")
+	alpha := fs.Float64("alpha", 0.05, "Mann-Whitney significance level")
+	minDelta := fs.Float64("min-delta", 3, "practical-significance floor in percent")
+	threshold := fs.Float64("threshold", 20, "raw fallback threshold in percent when repetitions are too few")
+	cases := fs.String("cases", "", "comma-separated case names to gate (default: every baseline case)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" {
+		return fail(stderr, fmt.Errorf("gate: -baseline is required"))
+	}
+	store, err := benchsuite.OpenStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *machine == "" {
+		*machine = benchsuite.Machine().ID()
+	}
+	verdicts, err := benchsuite.GateCommits(store, *machine, *baseline, *current, benchsuite.GateOptions{
+		Alpha: *alpha, MinDeltaPct: *minDelta, ThresholdPct: *threshold, Cases: splitList(*cases, ","),
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for _, v := range verdicts {
+		state := "ok  "
+		if v.Regressed {
+			state = "FAIL"
+		} else if v.Improved {
+			state = "FAST"
+		}
+		detail := ""
+		switch v.Mode {
+		case benchsuite.ModeStats:
+			detail = fmt.Sprintf("%s  Δmedian %+.1f%%", stats.FormatP(v.P), v.DeltaPct)
+		case benchsuite.ModeThreshold:
+			detail = fmt.Sprintf("threshold fallback  Δmedian %+.1f%%", v.DeltaPct)
+		case benchsuite.ModeSkipped:
+			detail = v.Note
+		}
+		fmt.Fprintf(stdout, "gate: %s %-60s %s\n", state, v.Case, detail)
+	}
+	if n := benchsuite.Regressions(verdicts); n > 0 {
+		fmt.Fprintf(stdout, "gate: FAILED — %d case(s) regressed (baseline %s → current %s)\n", n, shortSHA(*baseline), *current)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gate: ok — %d case(s), no statistically significant regression\n", len(verdicts))
+	return 0
+}
+
+// runExport writes the BENCH_N.json-format snapshot of the store.
+func runExport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", defaultStore, "results store directory")
+	commit := fs.String("commit", "latest", "commit to export (default: most recent)")
+	machine := fs.String("machine", "", "machine id (default: this machine)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	store, err := benchsuite.OpenStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *machine == "" {
+		*machine = benchsuite.Machine().ID()
+	}
+	data, err := store.ExportBenchJSON(*machine, *commit)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *out == "" {
+		stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "zac-benchsuite: wrote %s\n", *out)
+	return 0
+}
+
+// shortSHA truncates a commit for log lines.
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

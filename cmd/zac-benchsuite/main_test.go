@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cli drives the full CLI in-process and returns (exit code, stdout,
+// stderr).
+func cli(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// The acceptance path of the observatory: a smoke run populates the store,
+// a second run produces a trend query spanning both runs, and the
+// regression gate flags a seeded 2× slowdown while passing an unmodified
+// rerun on the same machine.
+func TestSmokeStoreTrendAndGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles circuits in -short mode")
+	}
+	store := filepath.Join(t.TempDir(), "store")
+
+	// First smoke run at a pinned "commit".
+	code, out, errs := cli(t, "run", "-smoke", "-store", store, "-commit", "commitA")
+	if code != 0 {
+		t.Fatalf("run 1 exit %d\nstdout: %s\nstderr: %s", code, out, errs)
+	}
+	if !strings.Contains(out, "micro/jv_dense") {
+		t.Fatalf("run 1 output lacks cases:\n%s", out)
+	}
+
+	// Second run at a second commit.
+	if code, out, errs = cli(t, "run", "-smoke", "-store", store, "-commit", "commitB"); code != 0 {
+		t.Fatalf("run 2 exit %d\nstderr: %s", code, errs)
+	}
+
+	// Trend spans both runs.
+	code, out, _ = cli(t, "trend", "-store", store, "-case", "micro/jv_dense", "-last", "10")
+	if code != 0 {
+		t.Fatalf("trend exit %d", code)
+	}
+	if !strings.Contains(out, "commitA") || !strings.Contains(out, "commitB") {
+		t.Fatalf("trend does not span both runs:\n%s", out)
+	}
+
+	// Unmodified rerun (commitB vs commitA): the gate must pass. Smoke
+	// repetitions are below the statistical minimum, so this also
+	// exercises the threshold fallback noted in the verdicts. Gate the
+	// inner-loop-folded JV kernels only — the millisecond compile cells
+	// jitter tens of percent at smoke repetition counts on a loaded
+	// machine (the smoke script makes the same call for the same reason).
+	kernels := "micro/jv_dense,micro/jv_sparse"
+	code, out, _ = cli(t, "gate", "-store", store, "-baseline", "commitA", "-current", "commitB",
+		"-cases", kernels, "-threshold", "35", "-min-delta", "30")
+	if code != 0 {
+		t.Fatalf("noise-only gate exit %d, want 0:\n%s", code, out)
+	}
+
+	// Seeded 2× slowdown: flagged with exit 1.
+	if code, _, errs = cli(t, "run", "-smoke", "-store", store, "-commit", "commitC", "-handicap", "2"); code != 0 {
+		t.Fatalf("handicapped run exit %d\nstderr: %s", code, errs)
+	}
+	code, out, _ = cli(t, "gate", "-store", store, "-baseline", "commitB", "-current", "commitC",
+		"-cases", kernels, "-threshold", "35")
+	if code != 1 {
+		t.Fatalf("seeded 2× gate exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("seeded 2× gate output lacks FAIL lines:\n%s", out)
+	}
+
+	// Reports and the BENCH_N.json export render from the same store.
+	if code, out, _ = cli(t, "report", "-store", store); code != 0 || !strings.Contains(out, "micro/jv_dense") {
+		t.Fatalf("report exit %d:\n%s", code, out)
+	}
+	if code, out, _ = cli(t, "report", "-store", store, "-format", "html"); code != 0 || !strings.Contains(out, "<table>") {
+		t.Fatalf("html report exit %d:\n%s", code, out)
+	}
+	if code, out, _ = cli(t, "export", "-store", store, "-commit", "commitB"); code != 0 || !strings.Contains(out, "BenchmarkJVDense") {
+		t.Fatalf("export exit %d:\n%s", code, out)
+	}
+}
+
+// Errors and misuse exit 2, distinct from the gate's regression exit 1.
+func TestCLIErrorExitCodes(t *testing.T) {
+	if code, _, _ := cli(t, "frobnicate"); code != 2 {
+		t.Errorf("unknown subcommand exit = %d, want 2", code)
+	}
+	if code, _, _ := cli(t, "gate", "-store", t.TempDir()); code != 2 {
+		t.Errorf("gate without -baseline exit = %d, want 2", code)
+	}
+	if code, _, _ := cli(t, "gate", "-store", t.TempDir(), "-baseline", "nope"); code != 2 {
+		t.Errorf("gate with empty store exit = %d, want 2", code)
+	}
+	if code, _, _ := cli(t, "trend", "-store", t.TempDir(), "-case", "nope"); code != 2 {
+		t.Errorf("trend with empty store exit = %d, want 2", code)
+	}
+}
+
+func TestFingerprintSubcommand(t *testing.T) {
+	code, out, _ := cli(t, "fingerprint")
+	if code != 0 {
+		t.Fatalf("fingerprint exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || len(lines[0]) != 16 {
+		t.Fatalf("fingerprint output = %q", out)
+	}
+}

@@ -1,0 +1,89 @@
+package benchsuite
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Fingerprint identifies the machine and toolchain a benchmark record was
+// measured on. Records from different fingerprints describe different
+// hardware and are never compared by the regression gate — a number
+// measured on a laptop says nothing about a CI runner.
+type Fingerprint struct {
+	// CPUModel is the CPU model string from /proc/cpuinfo ("model name"),
+	// falling back to the GOARCH name on platforms without it.
+	CPUModel string `json:"cpu_model"`
+	// Cores is runtime.NumCPU at capture time.
+	Cores int `json:"cores"`
+	// GOOS and GOARCH pin the platform the binary ran on.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// GoVersion is the toolchain that built the suite (runtime.Version).
+	GoVersion string `json:"go_version"`
+}
+
+// ID returns the short stable digest of the fingerprint used as the store
+// shard key, in the same 16-hex-digit format as arch.Fingerprint.
+func (f Fingerprint) ID() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%s|%s|%s", f.CPUModel, f.Cores, f.GOOS, f.GOARCH, f.GoVersion)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// String renders the fingerprint for report headers.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%s · %d cores · %s/%s · %s", f.CPUModel, f.Cores, f.GOOS, f.GOARCH, f.GoVersion)
+}
+
+var (
+	machineOnce sync.Once
+	machineFP   Fingerprint
+)
+
+// Machine returns the current machine's fingerprint. The capture is
+// performed once per process and cached, so every record stamped during one
+// run carries an identical fingerprint by construction.
+func Machine() Fingerprint {
+	machineOnce.Do(func() { machineFP = capture() })
+	return machineFP
+}
+
+// capture reads the fingerprint from the live system. Exposed to tests via
+// Machine only; two captures in one process are identical because every
+// input (cpuinfo content, NumCPU, toolchain) is stable for a process
+// lifetime.
+func capture() Fingerprint {
+	return Fingerprint{
+		CPUModel:  cpuModel(),
+		Cores:     runtime.NumCPU(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	}
+}
+
+// cpuModel extracts the first "model name" entry from /proc/cpuinfo,
+// falling back to GOARCH where the file is absent (non-Linux) or holds no
+// model line (some arm64 kernels).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(key) == "model name" {
+			if model := strings.TrimSpace(val); model != "" {
+				return model
+			}
+		}
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,37 @@
+package benchsuite
+
+import "testing"
+
+// Two captures in one process must be identical: every input to the
+// fingerprint (cpuinfo, core count, toolchain) is stable for a process
+// lifetime, and Machine additionally caches the first capture.
+func TestFingerprintDeterminism(t *testing.T) {
+	a, b := Machine(), Machine()
+	if a != b {
+		t.Fatalf("Machine() not stable: %+v vs %+v", a, b)
+	}
+	c, d := capture(), capture()
+	if c != d {
+		t.Fatalf("capture() not stable within one process: %+v vs %+v", c, d)
+	}
+	if a.ID() != b.ID() || a.ID() == "" {
+		t.Fatalf("ID() not stable: %q vs %q", a.ID(), b.ID())
+	}
+	if len(a.ID()) != 16 {
+		t.Fatalf("ID() = %q, want 16 hex digits", a.ID())
+	}
+	if a.CPUModel == "" || a.Cores <= 0 || a.GoVersion == "" {
+		t.Fatalf("fingerprint has empty fields: %+v", a)
+	}
+}
+
+// Different fingerprints must yield different ids (the store shard and gate
+// comparability key).
+func TestFingerprintIDSeparates(t *testing.T) {
+	a := Fingerprint{CPUModel: "cpuA", Cores: 8, GOOS: "linux", GOARCH: "amd64", GoVersion: "go1.24"}
+	b := a
+	b.Cores = 16
+	if a.ID() == b.ID() {
+		t.Fatalf("distinct fingerprints share id %q", a.ID())
+	}
+}

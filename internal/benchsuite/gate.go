@@ -1,0 +1,208 @@
+package benchsuite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"zac/internal/benchsuite/stats"
+)
+
+// GateOptions tunes the statistical regression gate.
+type GateOptions struct {
+	// Alpha is the significance level of the Mann-Whitney test (default
+	// 0.05): a slowdown is only real when p < Alpha.
+	Alpha float64
+	// MinDeltaPct is the practical-significance floor (default 3): a
+	// statistically significant median delta below it is reported but not
+	// flagged — at benchmark noise levels a 1% "significant" shift is a
+	// measurement artifact, not a regression.
+	MinDeltaPct float64
+	// ThresholdPct is the fallback raw gate (default 20) used when a
+	// case's samples are too few or too degenerate for the statistical
+	// test (stats.ErrTooFewSamples / stats.ErrAllEqual).
+	ThresholdPct float64
+	// Confidence is the level of the reported median CIs (default 0.95).
+	Confidence float64
+	// Cases, when non-empty, restricts the gate to these exact case
+	// names; everything else in either record set is ignored.
+	Cases []string
+}
+
+// normalized fills the options' defaults.
+func (o GateOptions) normalized() GateOptions {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.MinDeltaPct <= 0 {
+		o.MinDeltaPct = 3
+	}
+	if o.ThresholdPct <= 0 {
+		o.ThresholdPct = 20
+	}
+	if o.Confidence <= 0 {
+		o.Confidence = 0.95
+	}
+	return o
+}
+
+// Gate modes: how one case's verdict was decided.
+const (
+	// ModeStats marks a verdict decided by the Mann-Whitney test.
+	ModeStats = "stats"
+	// ModeThreshold marks the raw-threshold fallback (too few samples).
+	ModeThreshold = "threshold"
+	// ModeSkipped marks a case the gate could not compare (architecture
+	// changed between the two commits, or missing on one side).
+	ModeSkipped = "skipped"
+)
+
+// Verdict is the gate's decision for one case.
+type Verdict struct {
+	Case string
+	// Mode is ModeStats, ModeThreshold, or ModeSkipped.
+	Mode string
+	// P is the two-sided p-value (ModeStats only).
+	P float64
+	// OldMedian and NewMedian are ns/op medians of the two sample sets.
+	OldMedian, NewMedian float64
+	// DeltaPct is the median change in percent (positive = slower).
+	DeltaPct float64
+	// OldCI and NewCI are order-statistic median confidence intervals
+	// (ModeStats only).
+	OldCI, NewCI stats.Interval
+	// Regressed reports whether the gate flags this case.
+	Regressed bool
+	// Improved reports a significant speedup (informational).
+	Improved bool
+	// Note carries the human-readable reason for fallback/skip verdicts.
+	Note string
+}
+
+// ErrFingerprintMismatch reports an attempt to gate sample sets measured on
+// different machines; such comparisons are meaningless and always refused.
+var ErrFingerprintMismatch = errors.New("benchsuite: records span different machine fingerprints")
+
+// Gate compares current against baseline case by case and returns one
+// verdict per baseline case, sorted by name. All records on both sides must
+// carry the same machine fingerprint — the gate refuses cross-machine
+// comparisons outright (ErrFingerprintMismatch) rather than produce a
+// number that looks like a measurement.
+func Gate(baseline, current []Record, opts GateOptions) ([]Verdict, error) {
+	opts = opts.normalized()
+	machine := ""
+	for _, r := range append(append([]Record{}, baseline...), current...) {
+		if machine == "" {
+			machine = r.MachineID
+		} else if r.MachineID != machine {
+			return nil, fmt.Errorf("%w (%s vs %s)", ErrFingerprintMismatch, machine, r.MachineID)
+		}
+	}
+	keep := map[string]bool{}
+	for _, c := range opts.Cases {
+		keep[c] = true
+	}
+	type side struct {
+		samples []float64
+		archFP  string
+	}
+	collect := func(records []Record) map[string]*side {
+		m := map[string]*side{}
+		for _, r := range records {
+			if len(keep) > 0 && !keep[r.Case] {
+				continue
+			}
+			s, ok := m[r.Case]
+			if !ok {
+				s = &side{archFP: r.ArchFP}
+				m[r.Case] = s
+			}
+			s.samples = append(s.samples, r.NsPerOp...)
+		}
+		return m
+	}
+	olds, news := collect(baseline), collect(current)
+	var verdicts []Verdict
+	for name, old := range olds {
+		v := Verdict{Case: name, OldMedian: stats.Median(old.samples)}
+		cur, ok := news[name]
+		switch {
+		case !ok:
+			v.Mode = ModeSkipped
+			v.Regressed = true
+			v.Note = "present in baseline but missing in current run"
+		case cur.archFP != old.archFP:
+			v.Mode = ModeSkipped
+			v.Note = fmt.Sprintf("architecture fingerprint changed (%s → %s); not comparable", old.archFP, cur.archFP)
+		default:
+			v = judge(name, old.samples, cur.samples, opts)
+		}
+		verdicts = append(verdicts, v)
+	}
+	sort.Slice(verdicts, func(i, j int) bool { return verdicts[i].Case < verdicts[j].Case })
+	return verdicts, nil
+}
+
+// judge decides one case from its two sample vectors.
+func judge(name string, old, cur []float64, opts GateOptions) Verdict {
+	v := Verdict{
+		Case:      name,
+		OldMedian: stats.Median(old),
+		NewMedian: stats.Median(cur),
+	}
+	if v.OldMedian > 0 {
+		v.DeltaPct = (v.NewMedian/v.OldMedian - 1) * 100
+	}
+	res, err := stats.MannWhitneyU(old, cur)
+	switch {
+	case errors.Is(err, stats.ErrTooFewSamples), errors.Is(err, stats.ErrAllEqual):
+		v.Mode = ModeThreshold
+		v.Regressed = v.DeltaPct > opts.ThresholdPct
+		v.Improved = v.DeltaPct < -opts.ThresholdPct
+		v.Note = fmt.Sprintf("statistical test unavailable (%v); raw %.0f%% threshold applied", err, opts.ThresholdPct)
+	case err != nil:
+		v.Mode = ModeSkipped
+		v.Note = err.Error()
+	default:
+		v.Mode = ModeStats
+		v.P = res.P
+		v.OldCI, _ = stats.MedianCI(old, opts.Confidence)
+		v.NewCI, _ = stats.MedianCI(cur, opts.Confidence)
+		significant := res.P < opts.Alpha
+		v.Regressed = significant && v.DeltaPct > opts.MinDeltaPct
+		v.Improved = significant && v.DeltaPct < -opts.MinDeltaPct
+	}
+	return v
+}
+
+// Regressions counts the flagged verdicts.
+func Regressions(verdicts []Verdict) int {
+	n := 0
+	for _, v := range verdicts {
+		if v.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// GateCommits runs the gate over a store: baseline and current name commits
+// recorded for machineID ("latest" allowed for current). It is the
+// programmatic core of `zac-benchsuite gate`.
+func GateCommits(s *Store, machineID, baseline, current string, opts GateOptions) ([]Verdict, error) {
+	base, err := s.AtCommit(machineID, baseline)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("benchsuite: no baseline records for machine %s at commit %q", machineID, baseline)
+	}
+	cur, err := s.AtCommit(machineID, current)
+	if err != nil {
+		return nil, err
+	}
+	if len(cur) == 0 {
+		return nil, fmt.Errorf("benchsuite: no current records for machine %s at commit %q", machineID, current)
+	}
+	return Gate(base, cur, opts)
+}

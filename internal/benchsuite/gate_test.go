@@ -1,0 +1,193 @@
+package benchsuite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// baseSamples is a realistic steady-state ns/op sample (≈100ns ±0.5%).
+var baseSamples = []float64{100.2, 99.8, 100.1, 100.4, 99.9, 100.0, 100.3, 99.7, 100.1, 100.2}
+
+// scaled returns xs multiplied by f.
+func scaled(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+// A seeded 2× slowdown must be flagged by the statistical gate, and a
+// noise-only delta on the same machine must pass — the acceptance pair of
+// the observatory.
+func TestGateSeededRegressionVsNoise(t *testing.T) {
+	old := []Record{rec("m1", "base", "micro/jv_dense", 1, baseSamples...)}
+
+	slow := []Record{rec("m1", "cur", "micro/jv_dense", 2, scaled(baseSamples, 2)...)}
+	verdicts, err := Gate(old, slow, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+	v := verdicts[0]
+	if v.Mode != ModeStats {
+		t.Fatalf("mode = %s, want stats (n=10 per side)", v.Mode)
+	}
+	if !v.Regressed || Regressions(verdicts) != 1 {
+		t.Errorf("2× slowdown not flagged: %+v", v)
+	}
+	if v.P >= 0.05 {
+		t.Errorf("2× slowdown p = %v, want < 0.05", v.P)
+	}
+	if v.DeltaPct < 90 || v.DeltaPct > 110 {
+		t.Errorf("DeltaPct = %.1f, want ≈ +100", v.DeltaPct)
+	}
+
+	// Noise-only rerun: identical distribution up to ±0.3%.
+	noise := []Record{rec("m1", "cur", "micro/jv_dense", 2,
+		100.0, 100.3, 99.8, 100.2, 100.1, 99.9, 100.4, 99.8, 100.0, 100.2)}
+	verdicts, err = Gate(old, noise, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Regressions(verdicts) != 0 {
+		t.Errorf("noise-only delta flagged: %+v", verdicts[0])
+	}
+}
+
+// With fewer repetitions than the statistical test accepts, the gate falls
+// back to the raw percentage threshold.
+func TestGateThresholdFallback(t *testing.T) {
+	old := []Record{rec("m1", "base", "micro/jv_dense", 1, 100, 101, 99)}
+	slow := []Record{rec("m1", "cur", "micro/jv_dense", 2, 200, 202, 199)}
+	verdicts, err := Gate(old, slow, GateOptions{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := verdicts[0]
+	if v.Mode != ModeThreshold {
+		t.Fatalf("mode = %s, want threshold (n=3 per side)", v.Mode)
+	}
+	if !v.Regressed {
+		t.Errorf("2× slowdown not flagged by threshold fallback: %+v", v)
+	}
+	// Within threshold: passes.
+	ok := []Record{rec("m1", "cur", "micro/jv_dense", 2, 105, 106, 104)}
+	verdicts, err = Gate(old, ok, GateOptions{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdicts[0].Regressed {
+		t.Errorf("+5%% flagged by 20%% threshold: %+v", verdicts[0])
+	}
+}
+
+// A statistically significant but tiny delta stays below the
+// practical-significance floor and must not alarm.
+func TestGateMinDeltaFloor(t *testing.T) {
+	old := []Record{rec("m1", "base", "micro/jv_dense", 1, baseSamples...)}
+	// +1% shift: cleanly significant (disjoint distributions) but trivial.
+	cur := []Record{rec("m1", "cur", "micro/jv_dense", 2, scaled(baseSamples, 1.01)...)}
+	verdicts, err := Gate(old, cur, GateOptions{MinDeltaPct: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := verdicts[0]
+	if v.Mode != ModeStats || v.Regressed {
+		t.Errorf("+1%% delta flagged despite 3%% floor: %+v", v)
+	}
+}
+
+// Records measured on different machines must never be compared.
+func TestGateRefusesFingerprintMismatch(t *testing.T) {
+	old := []Record{rec("m1", "base", "micro/jv_dense", 1, baseSamples...)}
+	cur := []Record{rec("m2", "cur", "micro/jv_dense", 2, baseSamples...)}
+	if _, err := Gate(old, cur, GateOptions{}); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("cross-machine gate: err = %v, want ErrFingerprintMismatch", err)
+	}
+	// Mixed fingerprints inside one side are refused too.
+	mixed := []Record{old[0], rec("m2", "base", "micro/jv_sparse", 1, baseSamples...)}
+	if _, err := Gate(mixed, nil, GateOptions{}); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("mixed baseline: err = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+// A case that disappeared from the current run is flagged, and a case whose
+// target architecture changed is skipped rather than compared.
+func TestGateMissingAndArchChange(t *testing.T) {
+	old := []Record{
+		rec("m1", "base", "micro/jv_dense", 1, baseSamples...),
+		rec("m1", "base", "micro/sa_initial", 1, baseSamples...),
+	}
+	old[1].ArchFP = "archA"
+	curSA := rec("m1", "cur", "micro/sa_initial", 2, baseSamples...)
+	curSA.ArchFP = "archB"
+	verdicts, err := Gate(old, []Record{curSA}, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCase := map[string]Verdict{}
+	for _, v := range verdicts {
+		byCase[v.Case] = v
+	}
+	missing := byCase["micro/jv_dense"]
+	if missing.Mode != ModeSkipped || !missing.Regressed || !strings.Contains(missing.Note, "missing") {
+		t.Errorf("missing case verdict = %+v", missing)
+	}
+	archChanged := byCase["micro/sa_initial"]
+	if archChanged.Mode != ModeSkipped || archChanged.Regressed {
+		t.Errorf("arch-change verdict = %+v (must skip, not compare)", archChanged)
+	}
+	if !strings.Contains(archChanged.Note, "architecture") {
+		t.Errorf("arch-change note = %q", archChanged.Note)
+	}
+}
+
+// The Cases filter restricts the gate to named cells.
+func TestGateCaseFilter(t *testing.T) {
+	old := []Record{
+		rec("m1", "base", "micro/jv_dense", 1, baseSamples...),
+		rec("m1", "base", "micro/sa_initial", 1, baseSamples...),
+	}
+	cur := []Record{
+		rec("m1", "cur", "micro/jv_dense", 2, baseSamples...),
+		rec("m1", "cur", "micro/sa_initial", 2, scaled(baseSamples, 2)...),
+	}
+	verdicts, err := Gate(old, cur, GateOptions{Cases: []string{"micro/jv_dense"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 || verdicts[0].Case != "micro/jv_dense" {
+		t.Fatalf("filtered verdicts = %+v, want only micro/jv_dense", verdicts)
+	}
+	if Regressions(verdicts) != 0 {
+		t.Errorf("filtered-out regression still flagged: %+v", verdicts)
+	}
+}
+
+// GateCommits wires the gate to the store, including the "latest" alias.
+func TestGateCommits(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]Record{
+		rec("m1", "base", "micro/jv_dense", 1, baseSamples...),
+		rec("m1", "cur", "micro/jv_dense", 2, scaled(baseSamples, 2)...),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	verdicts, err := GateCommits(s, "m1", "base", "latest", GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Regressions(verdicts) != 1 {
+		t.Errorf("GateCommits(base→latest) = %+v, want 1 regression", verdicts)
+	}
+	if _, err := GateCommits(s, "m1", "nope", "latest", GateOptions{}); err == nil {
+		t.Error("GateCommits with unknown baseline commit: want error")
+	}
+}

@@ -1,0 +1,111 @@
+package benchsuite
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// seededStore builds the fixed store behind the golden reports: two
+// machines, three commits, a regressing and an improving case. Everything
+// (samples, times, commits, fingerprints) is pinned, so the rendered
+// reports must be byte-stable.
+func seededStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := func(commit, name string, unix int64, samples ...float64) Record {
+		return rec("m1", commit, name, unix, samples...)
+	}
+	if err := s.Append([]Record{
+		m1("aaaa111122223333", "micro/jv_dense", 1000, 100.0, 101.0, 99.5, 100.5, 100.2),
+		m1("aaaa111122223333", "micro/sa_initial", 1000, 5000, 5100, 4950, 5050, 5020),
+		m1("bbbb111122223333", "micro/jv_dense", 2000, 98.0, 98.5, 97.9, 98.2, 98.4),
+		m1("bbbb111122223333", "micro/sa_initial", 2000, 5500, 5600, 5450, 5550, 5520),
+		m1("cccc111122223333", "micro/jv_dense", 3000, 97.0, 97.5, 96.9, 97.2, 97.4),
+		m1("cccc111122223333", "micro/sa_initial", 3000, 6000, 6100, 5950, 6050, 6020),
+		rec("m2", "cccc111122223333", "compile/zac/default/rb:n=8,depth=4,seed=1", 3000, 42000, 42100, 41900, 42050, 42010),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (regenerate with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden (regenerate with -update if intentional).\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// The markdown and HTML generators must be byte-stable over a fixed seeded
+// store: same store, same bytes, run after run.
+func TestReportGolden(t *testing.T) {
+	s := seededStore(t)
+	md, err := MarkdownReport(s, ReportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.md.golden", md)
+
+	html, err := HTMLReport(s, ReportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.html.golden", html)
+
+	// A second render of the same store is byte-identical.
+	md2, err := MarkdownReport(s, ReportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md2 != md {
+		t.Error("MarkdownReport not deterministic across renders")
+	}
+}
+
+// Machine filtering and trend-depth options narrow the report.
+func TestReportOptions(t *testing.T) {
+	s := seededStore(t)
+	md, err := MarkdownReport(s, ReportOptions{MachineID: "m2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_m2.md.golden", md)
+}
+
+func TestReportEmptyStore(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := MarkdownReport(s, ReportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md == "" {
+		t.Error("empty store report is empty")
+	}
+	if _, err := HTMLReport(s, ReportOptions{}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package benchsuite
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"zac/internal/benchsuite/stats"
+	"zac/internal/engine"
+)
+
+// SchemaVersion is the record schema stamped into every store line, bumped
+// on incompatible Record changes so old stores stay readable (readers skip
+// newer-versioned lines they do not understand).
+const SchemaVersion = 1
+
+// Record is one matrix cell measured at one commit on one machine: the full
+// per-repetition ns/op sample vector plus everything needed to decide,
+// later, whether it may be compared with another record at all.
+type Record struct {
+	// Schema is the record format version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// Case is the matrix cell name (Case.Name).
+	Case string `json:"case"`
+	// Kind is the cell's class (micro or compile).
+	Kind Kind `json:"kind"`
+	// Commit is the VCS revision of the measured tree.
+	Commit string `json:"commit"`
+	// UnixTime is the capture time in seconds (caller-supplied so replays
+	// and tests are deterministic).
+	UnixTime int64 `json:"unix_time"`
+	// Machine is the full machine fingerprint; MachineID its digest, the
+	// store shard key and the gate's comparability check.
+	Machine   Fingerprint `json:"machine"`
+	MachineID string      `json:"machine_id"`
+	// ArchFP is the arch.Fingerprint of the targeted architecture ("" for
+	// kernels without one).
+	ArchFP string `json:"arch_fp,omitempty"`
+	// Warmup and InnerIters record how the sample was taken: Warmup
+	// discarded repetitions, InnerIters operations per timed repetition.
+	Warmup     int `json:"warmup"`
+	InnerIters int `json:"inner_iters"`
+	// NsPerOp holds one per-operation nanosecond sample per timed
+	// repetition — the raw material of the Mann-Whitney gate.
+	NsPerOp []float64 `json:"ns_per_op"`
+}
+
+// RunConfig controls one matrix execution.
+type RunConfig struct {
+	// Warmup is the number of untimed repetitions discarded before
+	// sampling (default 1).
+	Warmup int
+	// Reps is the number of timed repetitions, i.e. the sample size per
+	// cell (default 5 — the smallest the statistical gate accepts).
+	Reps int
+	// Workers bounds matrix-level parallelism through the engine pool.
+	// The default 1 runs cells sequentially, the only configuration whose
+	// timings are trustworthy; higher values are for smoke runs where
+	// only plumbing is under test.
+	Workers int
+	// Commit stamps the records' VCS revision ("unknown" when empty).
+	Commit string
+	// Now stamps the records' capture time (time.Now when zero).
+	Now time.Time
+	// Handicap multiplies every recorded ns/op sample (0 or 1 = none).
+	// It exists to self-test the regression gate: a run with -handicap 2
+	// must be flagged against an unmodified baseline.
+	Handicap float64
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(format string, args ...any)
+}
+
+// normalized fills the config's defaults.
+func (c RunConfig) normalized() RunConfig {
+	if c.Warmup <= 0 {
+		c.Warmup = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Commit == "" {
+		c.Commit = "unknown"
+	}
+	if c.Now.IsZero() {
+		c.Now = time.Now()
+	}
+	if c.Handicap == 0 {
+		c.Handicap = 1
+	}
+	return c
+}
+
+// Run executes every case of the matrix under cfg and returns one Record
+// per case, in matrix order regardless of scheduling (the engine assembles
+// by index). Each record carries the process-wide machine fingerprint and
+// cfg's commit stamp.
+func Run(ctx context.Context, cases []Case, cfg RunConfig) ([]Record, error) {
+	cfg = cfg.normalized()
+	fp := Machine()
+	records, err := engine.Map(ctx, cfg.Workers, len(cases), func(i int) (Record, error) {
+		rec, err := runCase(ctx, cases[i], cfg, fp)
+		if err != nil {
+			return Record{}, fmt.Errorf("benchsuite: %s: %w", cases[i].Name, err)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress("%-60s %3d reps  median %12.0f ns/op", rec.Case, len(rec.NsPerOp), stats.Median(rec.NsPerOp))
+		}
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// runCase sets up and times one cell: Warmup discarded repetitions, then
+// Reps timed ones of InnerIters operations each.
+func runCase(ctx context.Context, c Case, cfg RunConfig, fp Fingerprint) (Record, error) {
+	op, err := c.setup()
+	if err != nil {
+		return Record{}, err
+	}
+	inner := c.InnerIters
+	if inner <= 0 {
+		inner = 1
+	}
+	for w := 0; w < cfg.Warmup; w++ {
+		if err := opN(ctx, op, inner); err != nil {
+			return Record{}, err
+		}
+	}
+	samples := make([]float64, 0, cfg.Reps)
+	for r := 0; r < cfg.Reps; r++ {
+		if err := ctx.Err(); err != nil {
+			return Record{}, err
+		}
+		start := time.Now()
+		if err := opN(ctx, op, inner); err != nil {
+			return Record{}, err
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(inner)
+		samples = append(samples, ns*cfg.Handicap)
+	}
+	return Record{
+		Schema:     SchemaVersion,
+		Case:       c.Name,
+		Kind:       c.Kind,
+		Commit:     cfg.Commit,
+		UnixTime:   cfg.Now.Unix(),
+		Machine:    fp,
+		MachineID:  fp.ID(),
+		ArchFP:     c.ArchFP,
+		Warmup:     cfg.Warmup,
+		InnerIters: inner,
+		NsPerOp:    samples,
+	}, nil
+}
+
+// opN runs op n times, stopping at the first error.
+func opN(ctx context.Context, op func(context.Context) error, n int) error {
+	for i := 0; i < n; i++ {
+		if err := op(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

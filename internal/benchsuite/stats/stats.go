@@ -1,0 +1,308 @@
+// Package stats implements the benchstat-style nonparametric statistics the
+// performance observatory gates on: the Mann-Whitney U test (exact
+// enumeration over the permutation distribution for small samples, normal
+// approximation with tie correction beyond that) and order-statistic
+// confidence intervals for the median. Everything operates on raw ns/op
+// samples — no distributional assumptions — so the regression gate can tell
+// a real slowdown from scheduler noise instead of trusting a single-number
+// threshold.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// MinSamples is the smallest per-sample size the U test accepts. Below it
+// the test cannot reach p < 0.05 at any observed split, so a comparison
+// would be an unconditional pass dressed up as statistics; callers should
+// fall back to a raw threshold instead (see ErrTooFewSamples).
+const MinSamples = 5
+
+// exactLimit bounds the pooled sample size for which the test enumerates
+// the exact permutation distribution (C(22,11) ≈ 705k subsets); larger
+// pools use the tie-corrected normal approximation.
+const exactLimit = 22
+
+var (
+	// ErrTooFewSamples reports a sample below MinSamples observations.
+	ErrTooFewSamples = errors.New("stats: too few samples (need ≥ 5 per side)")
+	// ErrAllEqual reports that every observation in both samples is the
+	// same value, which makes the U statistic undefined (zero variance).
+	ErrAllEqual = errors.New("stats: all samples are identical")
+	// ErrNoSamples reports an empty sample where at least one observation
+	// is required.
+	ErrNoSamples = errors.New("stats: empty sample")
+)
+
+// Summary holds the descriptive statistics of one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	// StdDev is the sample (n-1) standard deviation, 0 for n < 2.
+	StdDev float64
+}
+
+// Summarize computes the descriptive statistics of xs. An empty sample
+// yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	s.Median = Median(xs)
+	return s
+}
+
+// Median returns the sample median (mean of the two central order
+// statistics for even n), or NaN for an empty sample.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// TestResult is the outcome of a two-sided Mann-Whitney U test.
+type TestResult struct {
+	// N1 and N2 are the sample sizes of x and y.
+	N1, N2 int
+	// U is the U statistic of the first sample (rank sum of x minus its
+	// minimum); midranks are used for ties, so U may be half-integral.
+	U float64
+	// P is the two-sided p-value: the probability, under the null
+	// hypothesis that both samples come from one distribution, of a U at
+	// least as extreme as observed.
+	P float64
+	// Exact reports whether P came from exact enumeration of the
+	// permutation distribution (pooled n ≤ 22) rather than the normal
+	// approximation.
+	Exact bool
+}
+
+// MannWhitneyU runs a two-sided Mann-Whitney U test of x against y. It
+// refuses samples smaller than MinSamples (ErrTooFewSamples) and pools in
+// which every observation is equal (ErrAllEqual); both conditions mean the
+// caller must decide by other means.
+func MannWhitneyU(x, y []float64) (TestResult, error) {
+	if len(x) < MinSamples || len(y) < MinSamples {
+		return TestResult{N1: len(x), N2: len(y)}, ErrTooFewSamples
+	}
+	n1, n2 := len(x), len(y)
+	pooled := make([]float64, 0, n1+n2)
+	pooled = append(pooled, x...)
+	pooled = append(pooled, y...)
+	allEqual := true
+	for _, v := range pooled[1:] {
+		if v != pooled[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return TestResult{N1: n1, N2: n2}, ErrAllEqual
+	}
+	ranks := midranks(pooled)
+	r1 := 0.0
+	for i := 0; i < n1; i++ {
+		r1 += ranks[i]
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	res := TestResult{N1: n1, N2: n2, U: u1}
+	if n1+n2 <= exactLimit {
+		res.P = exactP(ranks, n1, u1)
+		res.Exact = true
+		return res, nil
+	}
+	res.P = normalP(ranks, n1, n2, u1)
+	return res, nil
+}
+
+// midranks assigns 1-based ranks to vals, averaging ranks across ties
+// (midranks), and returns them in input order.
+func midranks(vals []float64) []float64 {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	ranks := make([]float64, len(vals))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && vals[idx[j+1]] == vals[idx[i]] {
+			j++
+		}
+		r := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = r
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// exactP enumerates every size-n1 subset of the pooled ranks (Gosper's
+// hack over a bitmask) and returns the two-sided exact p-value
+// min(1, 2·min(P(U ≤ u1), P(U ≥ u1))), which handles ties correctly
+// because the enumeration runs over the observed midranks.
+func exactP(ranks []float64, n1 int, u1 float64) float64 {
+	n := len(ranks)
+	offset := float64(n1*(n1+1)) / 2
+	const eps = 1e-9
+	var le, ge, total uint64
+	mask := uint64(1)<<n1 - 1
+	limit := uint64(1) << n
+	for mask < limit {
+		r := 0.0
+		for m := mask; m != 0; m &= m - 1 {
+			r += ranks[bits.TrailingZeros64(m)]
+		}
+		u := r - offset
+		total++
+		if u <= u1+eps {
+			le++
+		}
+		if u >= u1-eps {
+			ge++
+		}
+		// Gosper's hack: next bitmask with the same popcount.
+		c := mask & -mask
+		rr := mask + c
+		mask = (((rr ^ mask) >> 2) / c) | rr
+	}
+	pLow := float64(le) / float64(total)
+	pHigh := float64(ge) / float64(total)
+	p := 2 * math.Min(pLow, pHigh)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// normalP computes the two-sided p-value from the tie-corrected normal
+// approximation with continuity correction.
+func normalP(ranks []float64, n1, n2 int, u1 float64) float64 {
+	n := float64(n1 + n2)
+	// Tie correction: group sizes are recoverable from midrank
+	// multiplicity (a group of t equal values shares one midrank t times).
+	counts := map[float64]int{}
+	for _, r := range ranks {
+		counts[r]++
+	}
+	tieSum := 0.0
+	for _, t := range counts {
+		tf := float64(t)
+		tieSum += tf*tf*tf - tf
+	}
+	mean := float64(n1*n2) / 2
+	variance := float64(n1*n2) / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if variance <= 0 {
+		return 1
+	}
+	z := (math.Abs(u1-mean) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	return 2 * (1 - phi(z))
+}
+
+// phi is the standard normal CDF.
+func phi(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+// Interval is an order-statistic confidence interval for a sample median.
+type Interval struct {
+	Lo, Hi float64
+	// Confidence is the interval's achieved coverage, which for small n
+	// can fall below the requested level (the widest symmetric interval,
+	// [min, max], is returned in that case).
+	Confidence float64
+}
+
+// MedianCI returns the smallest symmetric order-statistic confidence
+// interval for the median of xs with coverage at least conf; when even the
+// full range cannot reach conf (small n), the full range is returned with
+// its achieved coverage. The sample must be non-empty.
+func MedianCI(xs []float64, conf float64) (Interval, error) {
+	n := len(xs)
+	if n == 0 {
+		return Interval{}, ErrNoSamples
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n == 1 {
+		return Interval{Lo: sorted[0], Hi: sorted[0], Confidence: 0}, nil
+	}
+	// Interval [x_(k+1), x_(n-k)] has coverage 1 − 2·P(Binom(n,½) ≤ k);
+	// scan k upward keeping the largest k (smallest interval) that still
+	// meets conf.
+	bestK, bestCov := 0, coverage(n, 0)
+	for k := 1; k < n/2; k++ {
+		cov := coverage(n, k)
+		if cov >= conf {
+			bestK, bestCov = k, cov
+		} else {
+			break
+		}
+	}
+	if bestCov < conf && bestK != 0 {
+		bestK, bestCov = 0, coverage(n, 0)
+	}
+	return Interval{Lo: sorted[bestK], Hi: sorted[n-1-bestK], Confidence: bestCov}, nil
+}
+
+// coverage returns the coverage 1 − 2·P(Binom(n,½) ≤ k) of the symmetric
+// order-statistic interval [x_(k+1), x_(n-k)].
+func coverage(n, k int) float64 {
+	tail := 0.0
+	for t := 0; t <= k; t++ {
+		tail += binom(n, t)
+	}
+	return 1 - 2*tail/math.Pow(2, float64(n))
+}
+
+// binom returns C(n, k) as a float64.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// FormatP renders a p-value the way benchstat does: three decimals, with
+// "p=0.000" floored at the display precision.
+func FormatP(p float64) string { return fmt.Sprintf("p=%.3f", p) }

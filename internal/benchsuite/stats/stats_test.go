@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Exact-test fixtures precomputed by brute-force enumeration of the
+// permutation distribution over midranks (independent Python reference, the
+// same construction benchstat's exact U distribution encodes): every
+// C(n1+n2, n1) assignment of the pooled ranks, two-sided
+// p = min(1, 2·min(P(U≤u), P(U≥u))).
+func TestMannWhitneyUExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		x, y  []float64
+		wantU float64
+		wantP float64
+	}{
+		{"disjoint", []float64{1, 2, 3, 4, 5}, []float64{6, 7, 8, 9, 10}, 0, 0.0079365079},
+		{"interleaved", []float64{1, 3, 5, 7, 9}, []float64{2, 4, 6, 8, 10}, 10, 0.6904761905},
+		{"ties", []float64{1, 2, 2, 3, 5}, []float64{2, 4, 4, 5, 6}, 5.5, 0.1825396825},
+		{"identical_sets", []float64{10, 11, 12, 13, 14}, []float64{10, 11, 12, 13, 14}, 12.5, 1.0},
+		{"shifted_ns", []float64{100.2, 99.8, 100.1, 100.4, 99.9, 100.0},
+			[]float64{109.8, 110.3, 110.1, 109.9, 110.2, 110.0}, 0, 0.0021645022},
+		{"noise_only", []float64{100.2, 99.8, 100.1, 100.4, 99.9, 100.0},
+			[]float64{100.3, 99.7, 100.2, 100.5, 99.8, 100.1}, 16.5, 0.8528138528},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := MannWhitneyU(tc.x, tc.y)
+			if err != nil {
+				t.Fatalf("MannWhitneyU: %v", err)
+			}
+			if !res.Exact {
+				t.Fatalf("expected exact enumeration for pooled n=%d", len(tc.x)+len(tc.y))
+			}
+			if res.U != tc.wantU {
+				t.Errorf("U = %v, want %v", res.U, tc.wantU)
+			}
+			if math.Abs(res.P-tc.wantP) > 1e-9 {
+				t.Errorf("P = %.10f, want %.10f", res.P, tc.wantP)
+			}
+		})
+	}
+}
+
+// The normal-approximation branch (pooled n > 22) against the standard
+// tie-corrected continuity-corrected formula, fixture precomputed
+// independently: U1=32, z=2.3026654177, p=0.0212976754.
+func TestMannWhitneyUNormalApprox(t *testing.T) {
+	x := []float64{10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15}
+	y := []float64{12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatalf("MannWhitneyU: %v", err)
+	}
+	if res.Exact {
+		t.Fatal("expected normal approximation for pooled n=24")
+	}
+	if res.U != 32 {
+		t.Errorf("U = %v, want 32", res.U)
+	}
+	if math.Abs(res.P-0.0212976754) > 1e-9 {
+		t.Errorf("P = %.10f, want 0.0212976754", res.P)
+	}
+}
+
+func TestMannWhitneyURefusals(t *testing.T) {
+	// n < 5 on either side is refused outright — the exact distribution
+	// cannot reach significance, so a "pass" would be vacuous.
+	small := []float64{1, 2, 3, 4}
+	big := []float64{1, 2, 3, 4, 5}
+	if _, err := MannWhitneyU(small, big); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("n1=4: err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := MannWhitneyU(big, small); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("n2=4: err = %v, want ErrTooFewSamples", err)
+	}
+	// A pool of identical values has zero variance; the test must refuse
+	// rather than divide by it.
+	same := []float64{7, 7, 7, 7, 7}
+	if _, err := MannWhitneyU(same, same); !errors.Is(err, ErrAllEqual) {
+		t.Errorf("all-equal: err = %v, want ErrAllEqual", err)
+	}
+}
+
+// Identical distributions must not alarm: sampling the same values in both
+// arms keeps p well above any sane significance level.
+func TestIdenticalDistributionNoAlarm(t *testing.T) {
+	x := []float64{100.2, 99.8, 100.1, 100.4, 99.9, 100.0, 100.3, 99.7}
+	y := []float64{100.1, 100.3, 99.8, 100.0, 100.4, 99.9, 100.2, 99.7}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatalf("MannWhitneyU: %v", err)
+	}
+	if res.P < 0.5 {
+		t.Errorf("identical distributions: p = %.4f, want ≥ 0.5", res.P)
+	}
+}
+
+func TestMedianCI(t *testing.T) {
+	// Fixtures: (n, conf) → 1-based order-statistic indices and achieved
+	// coverage, from the binomial order-statistic construction.
+	cases := []struct {
+		n        int
+		lo, hi   int // 1-based order statistics
+		coverage float64
+	}{
+		{5, 1, 5, 0.9375},
+		{8, 1, 8, 0.9921875},
+		{10, 2, 9, 0.978515625},
+		{20, 6, 15, 0.9586105346679688},
+	}
+	for _, tc := range cases {
+		xs := make([]float64, tc.n)
+		for i := range xs {
+			xs[i] = float64(i + 1) // sorted 1..n, so value == 1-based index
+		}
+		iv, err := MedianCI(xs, 0.95)
+		if err != nil {
+			t.Fatalf("n=%d: MedianCI: %v", tc.n, err)
+		}
+		if iv.Lo != float64(tc.lo) || iv.Hi != float64(tc.hi) {
+			t.Errorf("n=%d: CI = [%v, %v], want [%d, %d]", tc.n, iv.Lo, iv.Hi, tc.lo, tc.hi)
+		}
+		if math.Abs(iv.Confidence-tc.coverage) > 1e-12 {
+			t.Errorf("n=%d: coverage = %.12f, want %.12f", tc.n, iv.Confidence, tc.coverage)
+		}
+	}
+	if _, err := MedianCI(nil, 0.95); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty sample: err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+	if math.Abs(s.StdDev-2.138089935299395) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", z)
+	}
+}

@@ -1,0 +1,305 @@
+package benchsuite
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"zac/internal/benchsuite/stats"
+)
+
+// Store is the persistent, append-only results store: one JSON-lines file
+// per machine fingerprint under a directory ("<dir>/<machine-id>.jsonl").
+// Appends are O(1) file appends; every read re-scans, which at benchmark
+// cadence (tens of records per commit) stays trivially cheap and keeps the
+// format greppable and diff-merge friendly.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("benchsuite: empty store dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("benchsuite: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// shard returns the JSONL path holding one machine's records.
+func (s *Store) shard(machineID string) string {
+	return filepath.Join(s.dir, machineID+".jsonl")
+}
+
+// Append appends records to their machines' shards, preserving argument
+// order within each shard. Records never overwrite existing lines — the
+// store is strictly append-only.
+func (s *Store) Append(records []Record) error {
+	byMachine := map[string][]Record{}
+	var order []string
+	for _, r := range records {
+		if r.MachineID == "" {
+			return fmt.Errorf("benchsuite: record %q has no machine id", r.Case)
+		}
+		if _, seen := byMachine[r.MachineID]; !seen {
+			order = append(order, r.MachineID)
+		}
+		byMachine[r.MachineID] = append(byMachine[r.MachineID], r)
+	}
+	for _, id := range order {
+		f, err := os.OpenFile(s.shard(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("benchsuite: append: %w", err)
+		}
+		w := bufio.NewWriter(f)
+		for _, r := range byMachine[id] {
+			line, err := json.Marshal(r)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("benchsuite: encode record %q: %w", r.Case, err)
+			}
+			w.Write(line)
+			w.WriteByte('\n')
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("benchsuite: append: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("benchsuite: append: %w", err)
+		}
+	}
+	return nil
+}
+
+// Machines lists the machine ids with at least one record, sorted.
+func (s *Store) Machines() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("benchsuite: list machines: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".jsonl"); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Records reads every record of one machine in append order. An unknown
+// machine yields an empty slice, not an error; lines with a newer schema
+// than this binary understands are skipped.
+func (s *Store) Records(machineID string) ([]Record, error) {
+	f, err := os.Open(s.shard(machineID))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("benchsuite: read records: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("benchsuite: %s:%d: corrupt record: %w", s.shard(machineID), lineNo, err)
+		}
+		if r.Schema > SchemaVersion {
+			continue
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchsuite: read records: %w", err)
+	}
+	return out, nil
+}
+
+// TrendPoint is one commit's aggregated view of a case on one machine:
+// every sample measured for that (case, commit) merged into one summary.
+type TrendPoint struct {
+	Commit  string
+	Time    int64 // earliest record time of the commit, unix seconds
+	Summary stats.Summary
+	// Samples is the merged ns/op vector behind Summary.
+	Samples []float64
+}
+
+// Trend returns the per-commit trajectory of one case on one machine, in
+// first-appended order of commits, keeping the most recent n commits
+// (n <= 0 keeps all). Samples from several runs at one commit merge into
+// one point — repetitions accumulate rather than shadow each other.
+func (s *Store) Trend(machineID, caseName string, n int) ([]TrendPoint, error) {
+	records, err := s.Records(machineID)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	points := map[string]*TrendPoint{}
+	for _, r := range records {
+		if r.Case != caseName {
+			continue
+		}
+		p, ok := points[r.Commit]
+		if !ok {
+			p = &TrendPoint{Commit: r.Commit, Time: r.UnixTime}
+			points[r.Commit] = p
+			order = append(order, r.Commit)
+		}
+		if r.UnixTime < p.Time {
+			p.Time = r.UnixTime
+		}
+		p.Samples = append(p.Samples, r.NsPerOp...)
+	}
+	out := make([]TrendPoint, 0, len(order))
+	for _, c := range order {
+		p := points[c]
+		p.Summary = stats.Summarize(p.Samples)
+		out = append(out, *p)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out, nil
+}
+
+// Cases lists the distinct case names recorded for one machine, sorted.
+func (s *Store) Cases(machineID string) ([]string, error) {
+	records, err := s.Records(machineID)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range records {
+		if !seen[r.Case] {
+			seen[r.Case] = true
+			names = append(names, r.Case)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Commits lists the distinct commits recorded for one machine in
+// first-appended order (oldest first).
+func (s *Store) Commits(machineID string) ([]string, error) {
+	records, err := s.Records(machineID)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var commits []string
+	for _, r := range records {
+		if !seen[r.Commit] {
+			seen[r.Commit] = true
+			commits = append(commits, r.Commit)
+		}
+	}
+	return commits, nil
+}
+
+// AtCommit returns one machine's records for a commit, in append order.
+// Two special names resolve against the machine's commit history: "latest"
+// is the most recently appended commit, "previous" the one before it (how
+// the bench-regress gate names "the commit the last observatory run
+// measured").
+func (s *Store) AtCommit(machineID, commit string) ([]Record, error) {
+	if commit == "latest" || commit == "previous" {
+		commits, err := s.Commits(machineID)
+		if err != nil {
+			return nil, err
+		}
+		back := 1
+		if commit == "previous" {
+			back = 2
+		}
+		if len(commits) < back {
+			return nil, nil
+		}
+		commit = commits[len(commits)-back]
+	}
+	records, err := s.Records(machineID)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, r := range records {
+		if r.Commit == commit {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ExportBenchJSON renders one machine's latest-commit medians in the
+// BENCH_N.json format the bench-compare/bench-regress scripts exchange —
+// the committed snapshot becomes one export of the store instead of the
+// primary artifact. Only micro cases are exported (the script gate runs
+// the micro pattern), mapped back to their go-test benchmark names.
+func (s *Store) ExportBenchJSON(machineID, commit string) ([]byte, error) {
+	records, err := s.AtCommit(machineID, commit)
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("benchsuite: no records for machine %s at commit %q", machineID, commit)
+	}
+	names := map[string]string{
+		"micro/jv_dense":            "BenchmarkJVDense",
+		"micro/jv_sparse":           "BenchmarkJVSparse",
+		"micro/sa_initial":          "BenchmarkSAInitial",
+		"micro/buildplan/qft_n18":   "BenchmarkBuildPlan/qft_n18",
+		"micro/buildplan/ising_n42": "BenchmarkBuildPlan/ising_n42",
+	}
+	type entry struct {
+		name string
+		ns   float64
+	}
+	var entries []entry
+	commitSHA := records[0].Commit
+	for _, r := range records {
+		goName, ok := names[r.Case]
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry{goName, stats.Median(r.NsPerOp)})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("benchsuite: no micro records for machine %s at commit %q", machineID, commit)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\n")
+	fmt.Fprintf(&b, "  \"baseline_ref\": \"benchsuite-store\",\n")
+	fmt.Fprintf(&b, "  \"baseline_sha\": %q,\n", commitSHA)
+	fmt.Fprintf(&b, "  \"benchtime\": \"store\",\n")
+	fmt.Fprintf(&b, "  \"current\": {")
+	for i, e := range entries {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    %q: {\"ns_op\": %g, \"b_op\": null, \"allocs_op\": null}", e.name, e.ns)
+	}
+	fmt.Fprintf(&b, "\n  }\n}\n")
+	return []byte(b.String()), nil
+}

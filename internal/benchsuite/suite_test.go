@@ -1,0 +1,153 @@
+package benchsuite
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The runner end to end over the fast kernel cases: record identity,
+// sample counts, commit/fingerprint stamping, and the handicap multiplier.
+func TestRunKernelCases(t *testing.T) {
+	cases := Micro()[:2] // jv_dense, jv_sparse — microsecond kernels
+	now := time.Unix(12345, 0)
+	records, err := Run(context.Background(), cases, RunConfig{
+		Reps: 3, Warmup: 1, Commit: "deadbeef", Now: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(cases) {
+		t.Fatalf("records = %d, want %d", len(records), len(cases))
+	}
+	fp := Machine()
+	for i, r := range records {
+		if r.Case != cases[i].Name {
+			t.Errorf("record %d is %s, want %s (engine must assemble by index)", i, r.Case, cases[i].Name)
+		}
+		if len(r.NsPerOp) != 3 {
+			t.Errorf("%s: %d samples, want 3", r.Case, len(r.NsPerOp))
+		}
+		for _, ns := range r.NsPerOp {
+			if ns <= 0 {
+				t.Errorf("%s: non-positive sample %v", r.Case, ns)
+			}
+		}
+		if r.Commit != "deadbeef" || r.UnixTime != 12345 {
+			t.Errorf("%s: stamp = %s@%d", r.Case, r.Commit, r.UnixTime)
+		}
+		if r.MachineID != fp.ID() || r.Machine != fp {
+			t.Errorf("%s: fingerprint not stamped", r.Case)
+		}
+		if r.Schema != SchemaVersion || r.InnerIters != cases[i].InnerIters {
+			t.Errorf("%s: schema/inner = %d/%d", r.Case, r.Schema, r.InnerIters)
+		}
+	}
+
+	// The handicap multiplier scales recorded samples (the gate
+	// self-test hook); 1000× dwarfs scheduler noise, so even with live
+	// timing the handicapped medians must dominate.
+	slow, err := Run(context.Background(), cases[:1], RunConfig{
+		Reps: 3, Warmup: 1, Commit: "deadbeef", Handicap: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxPlain, minSlow float64
+	for _, ns := range records[0].NsPerOp {
+		if ns > maxPlain {
+			maxPlain = ns
+		}
+	}
+	minSlow = slow[0].NsPerOp[0]
+	for _, ns := range slow[0].NsPerOp {
+		if ns < minSlow {
+			minSlow = ns
+		}
+	}
+	if minSlow < maxPlain*10 {
+		t.Errorf("handicap 1000 barely visible: plain max %v, handicapped min %v", maxPlain, minSlow)
+	}
+}
+
+// The compile matrix expands (specs × compilers × archs) with canonical
+// names, and monolithic compilers skip forced-architecture cells.
+func TestCompileMatrixExpansion(t *testing.T) {
+	cases, err := Compile([]string{"rb:n=8,depth=4"}, []string{"zac"}, []string{"default", "triple"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("zac × {default,triple} = %d cases, want 2: %+v", len(cases), names(cases))
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.Name, "rb:n=8,depth=4,seed=1") {
+			t.Errorf("case name %q lacks canonical spec", c.Name)
+		}
+		if c.ArchFP == "" {
+			t.Errorf("case %q has no arch fingerprint", c.Name)
+		}
+	}
+	// Baselines pin their own target: the forced-arch cell collapses.
+	enola, err := Compile([]string{"rb:n=8,depth=4"}, []string{"enola"}, []string{"default", "triple"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enola) != 1 || !strings.Contains(enola[0].Name, "/default/") {
+		t.Fatalf("enola forced-arch cells = %v, want only default", names(enola))
+	}
+
+	if _, err := Compile([]string{"rb:n=8"}, []string{"zac"}, []string{"marsrover"}); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if _, err := Compile([]string{"nope:n=8"}, []string{"zac"}, nil); err == nil {
+		t.Error("unknown workload family accepted")
+	}
+	if _, err := Compile([]string{"rb:n=8"}, []string{"not-a-compiler"}, nil); err == nil {
+		t.Error("unknown compiler accepted")
+	}
+}
+
+func names(cases []Case) []string {
+	out := make([]string, len(cases))
+	for i, c := range cases {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// One real compile cell through the runner: the smoke matrix's smallest
+// spec through ZAC, sampled twice.
+func TestRunCompileCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compilation case in -short mode")
+	}
+	cases, err := Compile([]string{"rb:n=8,depth=4,seed=1"}, []string{"zac"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := Run(context.Background(), cases, RunConfig{Reps: 2, Warmup: 1, Commit: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].Kind != KindCompile || len(records[0].NsPerOp) != 2 {
+		t.Fatalf("compile record = %+v", records)
+	}
+}
+
+// The full micro matrix names stay pinned — the export mapping and the
+// bench-regress gate key on them.
+func TestMicroCaseNames(t *testing.T) {
+	want := []string{
+		"micro/jv_dense", "micro/jv_sparse", "micro/sa_initial",
+		"micro/buildplan/qft_n18", "micro/buildplan/ising_n42",
+	}
+	got := names(Micro())
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Micro() = %v, want %v", got, want)
+	}
+	if sm, err := SmokeMatrix(); err != nil || len(sm) != 4 {
+		t.Errorf("SmokeMatrix = %v, %v (want 4 cases)", names(sm), err)
+	}
+}

@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
 # bench-regress.sh [--rebase [ref]] [baseline.json]
 #
-# Regression gate over the PR-3 placement micro-benchmarks: runs
-# BenchmarkJVDense, BenchmarkJVSparse, BenchmarkSAInitial and
-# BenchmarkBuildPlan on the working tree, compares ns/op per benchmark
-# against the "current" block of a recorded baseline (default:
-# BENCH_3.json), and fails when any benchmark is more than THRESHOLD_PCT
-# percent slower. The fresh numbers are written to BENCH_OUT
-# (default BENCH_4.json) in the same format bench-compare.sh emits, with
-# the recorded baseline and per-benchmark speedups, so the next PR can
-# gate against this one. Uses benchstat for the human-readable diff when
-# it is installed; the gate itself is self-contained.
+# Regression gate over the PR-3 placement micro-benchmarks, routed through
+# the performance observatory (cmd/zac-benchsuite) when it can say
+# something statistically defensible:
+#
+#   1. Statistical route (default): the observatory runs the micro matrix
+#      with BENCH_REPS repetitions into the persistent store BENCH_STORE,
+#      then gates the fresh samples against the store's previous commit on
+#      THIS machine with a Mann-Whitney U test (significance BENCH_ALPHA,
+#      practical floor BENCH_MIN_DELTA_PCT). Cross-machine records are
+#      never compared — the store shards by machine fingerprint. BENCH_OUT
+#      becomes an export of the store.
+#   2. Threshold fallback: when the store has no comparable baseline yet
+#      (first run on a machine, fresh CI checkout) or repetitions are too
+#      few for the test, the legacy gate below applies: run the go-test
+#      micro-benchmarks and fail when any is more than THRESHOLD_PCT
+#      percent slower than the recorded baseline's "current" block
+#      (default: BENCH_3.json), writing fresh numbers to BENCH_OUT
+#      (default BENCH_4.json) in the bench-compare.sh format. Uses
+#      benchstat for the human-readable diff when installed; the gate
+#      itself is self-contained.
 #
 # With --rebase the recorded numbers are not trusted at all: the commit
 # that last touched the committed baseline (the tree whose working-tree run
@@ -23,11 +33,18 @@
 # that recorded them.
 #
 # Environment:
+#   BENCH_STORE    observatory store dir (default .zac-benchstore); set
+#                  BENCH_SUITE=0 to skip the statistical route entirely
+#   BENCH_REPS    observatory repetitions per case (default 10; values
+#                  below 5 force the threshold fallback by construction)
+#   BENCH_ALPHA    Mann-Whitney significance level (default 0.05)
+#   BENCH_MIN_DELTA_PCT  practical-significance floor in percent (default 3)
 #   BENCHTIME      go test -benchtime value (default 20x; the sub-ms JV
 #                  benchmarks are too noisy at lower iteration counts to
 #                  gate on)
 #   BENCH_OUT      output path (default BENCH_4.json)
-#   THRESHOLD_PCT  max tolerated slowdown in percent (default 20)
+#   THRESHOLD_PCT  max tolerated slowdown in percent (default 20; also the
+#                  statistical route's fallback threshold)
 #   REBASE_REF     git ref to regenerate the baseline from (--rebase;
 #                  default: the commit that last touched the baseline
 #                  file, falling back to HEAD)
@@ -62,14 +79,48 @@ RAW="$(mktemp)"
 CUR_TSV="$(mktemp)"
 REF_TSV="$(mktemp)"
 WORKDIR=""
+TOOLDIR=""
 cleanup() {
   rm -f "$RAW" "$CUR_TSV" "$REF_TSV"
   if [ -n "$WORKDIR" ]; then
     git worktree remove --force "$WORKDIR/ref" >/dev/null 2>&1 || true
     rm -rf "$WORKDIR"
   fi
+  if [ -n "$TOOLDIR" ]; then
+    rm -rf "$TOOLDIR"
+  fi
 }
 trap cleanup EXIT
+
+# ---------------------------------------------------------------------------
+# Statistical route: observatory run + Mann-Whitney gate vs the store's
+# previous commit on this machine. Falls through to the legacy threshold
+# gate when no comparable baseline exists yet (gate exit 2).
+if [ "$REBASE" -eq 0 ] && [ "${BENCH_SUITE:-1}" != "0" ]; then
+  STORE="${BENCH_STORE:-.zac-benchstore}"
+  REPS="${BENCH_REPS:-10}"
+  TOOLDIR="$(mktemp -d)"
+  if go build -o "$TOOLDIR/zac-benchsuite" ./cmd/zac-benchsuite; then
+    echo "bench-regress: observatory micro matrix ($REPS reps) into $STORE" >&2
+    "$TOOLDIR/zac-benchsuite" run -matrix micro -reps "$REPS" -store "$STORE" >&2
+    GATE=0
+    "$TOOLDIR/zac-benchsuite" gate -store "$STORE" -baseline previous -current latest \
+      -alpha "${BENCH_ALPHA:-0.05}" -min-delta "${BENCH_MIN_DELTA_PCT:-3}" \
+      -threshold "$THRESHOLD_PCT" >&2 || GATE=$?
+    if [ "$GATE" -eq 0 ] || [ "$GATE" -eq 1 ]; then
+      "$TOOLDIR/zac-benchsuite" export -store "$STORE" -o "$OUT" >&2 || true
+      if [ "$GATE" -ne 0 ]; then
+        echo "bench-regress: FAILED — the statistical gate flagged a regression vs the store's previous commit" >&2
+        exit 1
+      fi
+      echo "bench-regress: statistical gate passed; $OUT exported from $STORE" >&2
+      exit 0
+    fi
+    echo "bench-regress: no comparable baseline in $STORE yet (first run on this machine?); falling back to the ${THRESHOLD_PCT}% threshold gate vs $BASELINE" >&2
+  else
+    echo "bench-regress: zac-benchsuite failed to build; falling back to the threshold gate" >&2
+  fi
+fi
 
 if [ "$REBASE" -eq 1 ]; then
   # Resolve the rebase ref: explicit argument/env, else the commit that
