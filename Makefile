@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase benchsuite benchsuite-smoke benchsuite-report fuzz-smoke fuzz-diff fuzz-diff-smoke serve-smoke
+.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase benchsuite benchsuite-smoke benchsuite-report fuzz-smoke fuzz-diff fuzz-diff-smoke serve-smoke chaos-smoke
 
 check: vet doclint build race
 
@@ -92,3 +92,11 @@ fuzz-diff:
 # circuit, and check /metrics — the same smoke CI runs.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Resilience gate: the pinned-seed fault-injection suites (admission
+# shedding, deadline mapping, journal replay, disk breaker trip/recovery,
+# cache self-healing under torn writes) plus an end-to-end crash-recovery
+# drill against the zac-serve binary (journal replay on boot, SIGTERM
+# drain).
+chaos-smoke:
+	./scripts/chaos-smoke.sh

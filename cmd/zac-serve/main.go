@@ -25,6 +25,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"zac/internal/engine"
@@ -38,10 +40,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent compilations (0 = all CPUs)")
 	memEntries := flag.Int("mementries", 4096, "in-memory cache capacity in entries (0 = unbounded)")
 	maxBatch := flag.Int("maxbatch", 64, "max requests per batch")
+	queueDepth := flag.Int("queuedepth", 0, "compile admission queue bound; requests beyond it are shed with 429 (0 = default)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile live compilations)")
 	flag.Parse()
 
-	opts := serve.Options{Parallel: *parallel, MemEntries: *memEntries, MaxBatch: *maxBatch}
+	opts := serve.Options{Parallel: *parallel, MemEntries: *memEntries, MaxBatch: *maxBatch, QueueDepth: *queueDepth}
 	if *cacheDir != "" {
 		disk, err := engine.OpenDiskCache(*cacheDir, *cacheMB<<20)
 		if err != nil {
@@ -55,6 +58,19 @@ func main() {
 	}
 
 	srv := serve.New(opts)
+	if *cacheDir != "" {
+		// The async-job journal lives next to the compile cache: accepted
+		// jobs a previous process never finished are replayed here, before
+		// the listener accepts traffic.
+		replayed, err := srv.OpenJournal(filepath.Join(*cacheDir, "jobs"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zac-serve: job journal: %v\n", err)
+			os.Exit(1)
+		}
+		if replayed > 0 {
+			fmt.Fprintf(os.Stderr, "zac-serve: replaying %d journaled job(s)\n", replayed)
+		}
+	}
 	handler := srv.Handler()
 	if *pprofOn {
 		// Mount the profiling endpoints next to the API so a live service
@@ -70,9 +86,17 @@ func main() {
 		handler = mux
 		fmt.Fprintln(os.Stderr, "zac-serve: pprof enabled at /debug/pprof/")
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Bound slow/idle clients so a handful of stalled connections
+		// (slowloris) cannot pin listener resources forever. Request bodies
+		// are small JSON documents; only compilation itself is long-running.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -84,10 +108,19 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
+
+	// Drain sequence: flip /readyz to 503 and refuse new compiles, let
+	// in-flight HTTP requests finish, then wait (briefly) for background
+	// jobs. Jobs still running at the deadline stay journaled and are
+	// replayed by the next process, so SIGTERM never loses an accepted job.
+	srv.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "zac-serve: shutdown: %v\n", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "zac-serve: drain deadline: unfinished jobs remain journaled for replay")
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "zac-serve: drained, bye")

@@ -17,8 +17,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -76,8 +79,12 @@ func main() {
 	}
 
 	// Submit the batch; the service answers 202 with a job id immediately.
+	// An overloaded (429) or draining (503) service is retried with the
+	// backoff it asks for.
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(*base+"/v1/compile?zair=0", "application/json", bytes.NewReader(body))
+	resp, err := doRetry(func() (*http.Response, error) {
+		return http.Post(*base+"/v1/compile?zair=0", "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		fatal(fmt.Errorf("is zac-serve running at %s? %w", *base, err))
 	}
@@ -91,7 +98,9 @@ func main() {
 	// Poll until the job leaves the pending/running states.
 	for job.Status == "pending" || job.Status == "running" {
 		time.Sleep(100 * time.Millisecond)
-		resp, err := http.Get(*base + "/v1/jobs/" + job.ID)
+		resp, err := doRetry(func() (*http.Response, error) {
+			return http.Get(*base + "/v1/jobs/" + job.ID)
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -126,6 +135,45 @@ func main() {
 	decodeBody(resp, &metrics)
 	fmt.Printf("\nservice cache: %d mem hits, %d disk hits, %d misses (%.0f%% hit rate)\n",
 		metrics.Cache.MemHits, metrics.Cache.DiskHits, metrics.Cache.Misses, 100*metrics.Cache.HitRate)
+}
+
+// doRetry issues the request and, on 429 (overloaded) or 503 (draining),
+// retries with capped jittered backoff, honoring a Retry-After header when
+// the server sends one. Any other status — or exhausted retries — returns
+// the response as-is for the caller to decode.
+func doRetry(do func() (*http.Response, error)) (*http.Response, error) {
+	const maxAttempts = 6
+	backoff := 200 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for attempt := 1; ; attempt++ {
+		resp, err := do()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if attempt == maxAttempts {
+			return resp, nil
+		}
+		// Prefer the server's own hint; fall back to our exponential
+		// schedule. Either way add jitter so a fleet of shed clients does
+		// not return in lockstep.
+		wait := backoff
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		if wait > maxBackoff {
+			wait = maxBackoff
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "serveclient: %s — retrying in %v (attempt %d/%d)\n",
+			http.StatusText(resp.StatusCode), wait.Round(time.Millisecond), attempt, maxAttempts)
+		time.Sleep(wait)
+		backoff *= 2
+	}
 }
 
 // decodeBody decodes a JSON response body into v and closes it.

@@ -8,6 +8,7 @@ import (
 	"zac/internal/arch"
 	"zac/internal/circuit"
 	"zac/internal/cover"
+	"zac/internal/faultinject"
 	"zac/internal/fidelity"
 	"zac/internal/place"
 	"zac/internal/schedule"
@@ -167,13 +168,21 @@ func FidelityPass() Pass {
 // returns the compiled Result with one PassTiming per pass. The context is
 // checked between passes and plumbed into placement and scheduling, so an
 // abandoned compilation stops mid-pass instead of running to completion.
+// Pass boundaries additionally consult a context-carried fault-injection
+// plan (internal/faultinject) at points "pass.<name>", so the chaos suite
+// can delay or fail compilations at any stage seam; compilations without a
+// plan pay one nil check per pass.
 func (p *Pipeline) Run(ctx context.Context, staged *circuit.Staged, a *arch.Architecture, opts Options, hooks Hooks) (*Result, error) {
 	st := &PassState{Arch: a, Staged: staged, Opts: opts, Hooks: hooks, start: time.Now()}
 	cov := cover.From(ctx)
+	fip := faultinject.From(ctx)
 	timings := make([]PassTiming, 0, len(p.passes))
 	for _, pass := range p.passes {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if err := fip.Boundary(ctx, "pass."+pass.Name); err != nil {
+			return nil, fmt.Errorf("%s pass: %w", pass.Name, err)
 		}
 		st.cached = false
 		t0 := time.Now()

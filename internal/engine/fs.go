@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FS is the narrow filesystem seam every DiskCache I/O operation goes
+// through. Production code uses the process filesystem (OSFS); tests and the
+// fault-injection harness (internal/faultinject) substitute wrappers that
+// return errors, delay operations, or corrupt bytes at named injection
+// points — so the cache's recovery paths are driven by injected failures
+// instead of hand-crafted corrupt files.
+type FS interface {
+	// ReadFile reads the named file in full.
+	ReadFile(name string) ([]byte, error)
+	// MkdirAll creates a directory path along with any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// CreateTemp creates a new temporary file in dir (pattern as in
+	// os.CreateTemp) open for writing.
+	CreateTemp(dir, pattern string) (FileWriter, error)
+	// Rename atomically moves oldpath to newpath (the commit step of a
+	// temp-file write).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Stat describes the named file.
+	Stat(name string) (os.FileInfo, error)
+	// Chtimes sets the access and modification times of the named file.
+	Chtimes(name string, atime, mtime time.Time) error
+	// WalkDir walks the file tree rooted at root.
+	WalkDir(root string, fn fs.WalkDirFunc) error
+}
+
+// FileWriter is the write handle CreateTemp returns: the subset of *os.File
+// a staged cache write needs.
+type FileWriter interface {
+	io.Writer
+	io.Closer
+	// Name returns the file's path, for the later Rename or Remove.
+	Name() string
+}
+
+// OSFS is the real process filesystem: the default FS of every DiskCache
+// opened with OpenDiskCache.
+var OSFS FS = osFS{}
+
+// osFS implements FS directly on the os package.
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Chtimes(name string, a, m time.Time) error    { return os.Chtimes(name, a, m) }
+func (osFS) WalkDir(root string, fn fs.WalkDirFunc) error { return filepath.WalkDir(root, fn) }
+func (osFS) CreateTemp(dir, pattern string) (FileWriter, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -102,6 +102,24 @@ type memEntry struct {
 	err error
 }
 
+// transientError marks a failure as a condition of the moment rather than a
+// property of the key; see Transient.
+type transientError struct{ error }
+
+// Unwrap exposes the wrapped error to errors.Is/As chains.
+func (t transientError) Unwrap() error { return t.error }
+
+// Transient wraps err so the cache will deliver it to waiters but never
+// memoize it — the same contract cancellation errors get. Use it for
+// failures that say nothing about the key: admission rejections, resource
+// exhaustion, I/O trouble. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientError{err}
+}
+
 // NewTiered returns a memory-only tiered cache whose LRU front holds at most
 // memEntries values (≤ 0 for unbounded). Attach a disk tier with SetDisk.
 func NewTiered(memEntries int) *Tiered {
@@ -154,8 +172,11 @@ func (t *Tiered) DoCtx(ctx context.Context, key string, codec *Codec, compute fu
 	}
 	// No shareable computation in flight — none at all, or a moribund one
 	// whose callers all cancelled. Start our own, replacing any dead map
-	// entry (finish only deletes the entry it installed).
-	computeCtx, cancel := context.WithCancel(context.Background())
+	// entry (finish only deletes the entry it installed). The computation
+	// inherits the originator's context values (tracing, fault-injection
+	// plans) but not its cancellation — that is relayed through the waiter
+	// refcount below, so one caller's disconnect cannot fail the others.
+	computeCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	f := &flight{ready: make(chan struct{}), cancel: cancel, waiters: 1}
 	t.inflight[key] = f
 	t.mu.Unlock()
@@ -200,13 +221,14 @@ func (t *Tiered) DoCtx(ctx context.Context, key string, codec *Codec, compute fu
 }
 
 // finish publishes a completed computation to the LRU front and releases
-// the single-flight waiters. Cancellation errors are delivered to waiters
-// but not memoized — they say nothing about the key, and caching one would
-// poison it for every future caller.
+// the single-flight waiters. Cancellation and Transient-marked errors are
+// delivered to waiters but not memoized — they say nothing about the key,
+// and caching one would poison it for every future caller.
 func (t *Tiered) finish(key string, f *flight, v any, err error) {
 	f.val, f.err = v, err
+	var te transientError
 	t.mu.Lock()
-	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) && !errors.As(err, &te) {
 		t.mem.Put(key, memEntry{val: v, err: err})
 	}
 	// A moribund flight may already have been replaced by a fresh one;

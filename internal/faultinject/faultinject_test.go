@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilPlanIsSafe(t *testing.T) {
+	var p *Plan
+	if r := p.Decide("fs.readfile"); r != nil {
+		t.Fatalf("nil plan fired a rule: %+v", r)
+	}
+	if err := p.Boundary(context.Background(), "pass.place"); err != nil {
+		t.Fatalf("nil plan boundary error: %v", err)
+	}
+	if st := p.Stats("fs.readfile"); st != (PointStats{}) {
+		t.Fatalf("nil plan stats = %+v", st)
+	}
+	if n := p.Fired("fs."); n != 0 {
+		t.Fatalf("nil plan fired = %d", n)
+	}
+	if got := From(context.Background()); got != nil {
+		t.Fatalf("From(empty ctx) = %v, want nil", got)
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	p := NewPlan(1)
+	ctx := With(context.Background(), p)
+	if got := From(ctx); got != p {
+		t.Fatalf("From(With(ctx, p)) = %v, want %v", got, p)
+	}
+}
+
+// TestDeterministicSchedule pins the core reproducibility contract: the same
+// seed yields the same per-point fault schedule, hit for hit.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		p := NewPlan(seed, Rule{Point: "fs.write", Prob: 0.3, Kind: KindError})
+		fired := make([]bool, 200)
+		for i := range fired {
+			fired[i] = p.Decide("fs.write") != nil
+		}
+		return fired
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: same seed diverged (%v vs %v)", i+1, a[i], b[i])
+		}
+	}
+	var n int
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Fatalf("prob 0.3 fired %d/%d times; stream looks degenerate", n, len(a))
+	}
+}
+
+// TestPointStreamsIndependent checks that hits on one point do not perturb
+// another point's schedule — the property that makes concurrent chaos runs
+// reproducible per point.
+func TestPointStreamsIndependent(t *testing.T) {
+	solo := NewPlan(7, Rule{Point: "a", Prob: 0.5, Kind: KindError})
+	mixed := NewPlan(7, Rule{Point: "a", Prob: 0.5, Kind: KindError})
+	var want, got []bool
+	for i := 0; i < 100; i++ {
+		want = append(want, solo.Decide("a") != nil)
+		mixed.Decide("b") // interleaved traffic on another point
+		got = append(got, mixed.Decide("a") != nil)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("hit %d: point stream perturbed by traffic on another point", i+1)
+		}
+	}
+}
+
+func TestHitsOrdinals(t *testing.T) {
+	p := NewPlan(0, Rule{Point: "fs.rename", Hits: []uint64{2, 4}, Kind: KindError})
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if p.Decide("fs.rename") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [2 4]", fired)
+	}
+	st := p.Stats("fs.rename")
+	if st.Hits != 5 || st.Fired != 2 {
+		t.Fatalf("stats = %+v, want Hits 5 Fired 2", st)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	p := NewPlan(0, Rule{Point: "x", Prob: 1, Kind: KindError})
+	p.SetEnabled(false)
+	for i := 0; i < 10; i++ {
+		if p.Decide("x") != nil {
+			t.Fatal("disarmed plan fired")
+		}
+	}
+	if st := p.Stats("x"); st.Hits != 10 || st.Fired != 0 {
+		t.Fatalf("stats = %+v, want Hits 10 Fired 0", st)
+	}
+	p.SetEnabled(true)
+	if p.Decide("x") == nil {
+		t.Fatal("re-armed plan did not fire")
+	}
+}
+
+func TestBoundaryError(t *testing.T) {
+	p := NewPlan(0, Rule{Point: "pass.place", Hits: []uint64{1}, Kind: KindError})
+	err := p.Boundary(context.Background(), "pass.place")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := p.Boundary(context.Background(), "pass.place"); err != nil {
+		t.Fatalf("hit 2 fired unexpectedly: %v", err)
+	}
+}
+
+func TestBoundaryCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	p := NewPlan(0, Rule{Point: "pass.emit", Prob: 1, Kind: KindError, Err: custom})
+	if err := p.Boundary(context.Background(), "pass.emit"); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestBoundaryLatencyCancellable(t *testing.T) {
+	p := NewPlan(0, Rule{Point: "pass.schedule", Prob: 1, Kind: KindLatency, Latency: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Boundary(ctx, "pass.schedule"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFiredPrefixSum(t *testing.T) {
+	p := NewPlan(0,
+		Rule{Point: "fs.write", Prob: 1, Kind: KindError},
+		Rule{Point: "fs.rename", Prob: 1, Kind: KindError},
+		Rule{Point: "pass.place", Prob: 1, Kind: KindError},
+	)
+	p.Decide("fs.write")
+	p.Decide("fs.rename")
+	p.Decide("pass.place")
+	if n := p.Fired("fs."); n != 2 {
+		t.Fatalf(`Fired("fs.") = %d, want 2`, n)
+	}
+	if n := p.Fired(""); n != 3 {
+		t.Fatalf(`Fired("") = %d, want 3`, n)
+	}
+}

@@ -40,6 +40,13 @@ type CompileRequest struct {
 	Compiler string `json:"compiler,omitempty"`
 	// AODs overrides the architecture's AOD count when positive.
 	AODs int `json:"aods,omitempty"`
+	// TimeoutMS, when positive, bounds this request's total time in the
+	// service — queueing included — in milliseconds. A request that misses
+	// its deadline fails with a timeout error (HTTP 504 for a single
+	// synchronous request, a per-item error otherwise); the underlying
+	// compilation is cancelled unless concurrent identical requests still
+	// want it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/compile: either a bare
@@ -96,6 +103,11 @@ type BatchItem struct {
 	Result *CompileResponse `json:"result,omitempty"`
 	// Error is the failure message, empty on success.
 	Error string `json:"error,omitempty"`
+
+	// status is the HTTP status a single synchronous request reports for
+	// this failure (429 shed, 504 deadline); 0 means 400. Batch responses
+	// stay 200 with per-item errors, so it never goes on the wire.
+	status int
 }
 
 // BatchResponse is the body of a synchronous batch compilation.
@@ -113,13 +125,17 @@ type ErrorResponse struct {
 // JobStatus enumerates the lifecycle states of an async compilation job.
 type JobStatus string
 
-// The five job lifecycle states.
+// The job lifecycle states. JobInterrupted is terminal and only assigned at
+// startup, to a job whose journal record survived a crash but was too
+// damaged to replay — its id answers polls instead of 404ing, but its
+// requests are lost.
 const (
-	JobPending  JobStatus = "pending"
-	JobRunning  JobStatus = "running"
-	JobDone     JobStatus = "done"
-	JobFailed   JobStatus = "failed"
-	JobCanceled JobStatus = "canceled"
+	JobPending     JobStatus = "pending"
+	JobRunning     JobStatus = "running"
+	JobDone        JobStatus = "done"
+	JobFailed      JobStatus = "failed"
+	JobCanceled    JobStatus = "canceled"
+	JobInterrupted JobStatus = "interrupted"
 )
 
 // JobResponse is the body of GET /v1/jobs/{id} (and of the 202 returned for
@@ -152,8 +168,14 @@ type MetricsResponse struct {
 	// and placement plans memoized at pass granularity and shared across
 	// compilers.
 	PassCache CacheMetrics `json:"pass_cache"`
+	// Admission reports the admission controller's state: queue occupancy,
+	// shed requests, deadline misses, and whether the server is draining.
+	Admission AdmissionMetrics `json:"admission"`
 	// Jobs counts async jobs by status.
 	Jobs map[JobStatus]int `json:"jobs"`
+	// JobsReplayed counts async jobs re-run from the crash journal at
+	// startup.
+	JobsReplayed uint64 `json:"jobs_replayed"`
 	// Compilers reports per-compiler latency aggregates, keyed by registry
 	// name.
 	Compilers map[string]LatencyMetrics `json:"compilers"`
@@ -179,6 +201,38 @@ type CacheMetrics struct {
 	DiskEntries int `json:"disk_entries"`
 	// DiskBytes is the disk tier's total size in bytes.
 	DiskBytes int64 `json:"disk_bytes"`
+	// DiskRetries counts disk operations retried after a transient I/O
+	// error (each retry slept a jittered backoff first).
+	DiskRetries uint64 `json:"disk_retries"`
+	// DiskFailures counts disk operations that exhausted their retries.
+	DiskFailures uint64 `json:"disk_failures"`
+	// BreakerOpens counts transitions of the disk tier's circuit breaker to
+	// the open state.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// BreakerSkips counts disk operations short-circuited while the breaker
+	// was open (the cache ran memory-only).
+	BreakerSkips uint64 `json:"breaker_skips"`
+	// BreakerState is the disk tier's breaker state ("closed", "open",
+	// "half-open"); empty when no disk tier is attached.
+	BreakerState string `json:"breaker_state,omitempty"`
+}
+
+// AdmissionMetrics is the admission-control section of MetricsResponse.
+type AdmissionMetrics struct {
+	// QueueDepth is the number of requests currently waiting for a compile
+	// slot (running compiles are reported as inflight_compiles).
+	QueueDepth int64 `json:"queue_depth"`
+	// QueueLimit is the configured waiting-queue bound; a request arriving
+	// with the queue full is shed with 429.
+	QueueLimit int `json:"queue_limit"`
+	// Shed counts requests rejected with 429 because the queue was full.
+	Shed uint64 `json:"shed"`
+	// DeadlineExceeded counts requests that missed their timeout_ms
+	// deadline.
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	// Draining reports that the server is shutting down: /readyz answers
+	// 503 and new compile requests are refused.
+	Draining bool `json:"draining"`
 }
 
 // LatencyMetrics aggregates wall-clock compile latency for one compiler

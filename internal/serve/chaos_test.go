@@ -1,0 +1,451 @@
+package serve
+
+// Chaos tests: pinned-seed fault schedules from internal/faultinject driven
+// through the public HTTP surface. Each test asserts a resilience invariant —
+// overload sheds with 429 + Retry-After, deadlines map to 504, accepted async
+// jobs survive restarts via the journal, disk faults degrade the cache to
+// memory-only without corrupting responses — rather than any particular
+// interleaving, so they stay deterministic under scheduling noise.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zac/internal/engine"
+	"zac/internal/faultinject"
+)
+
+// chaosSeed pins every schedule in this file; rerunning with the same seed
+// reproduces the same faults.
+const chaosSeed = 0x5EED
+
+// newChaosServer starts a server whose request contexts carry the fault
+// plan, so pass-boundary faults fire inside synchronous compilations.
+func newChaosServer(t *testing.T, opts Options, plan *faultinject.Plan) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	h := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(w, r.WithContext(faultinject.With(r.Context(), plan)))
+	}))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// doFull is do plus response headers, for Retry-After assertions.
+func doFull(t *testing.T, method, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// chaosBody builds a single-compile request body with a distinct cache key.
+func chaosBody(name string) string {
+	return `{"qasm":` + strconv(tinyQASM) + `,"name":"` + name + `"}`
+}
+
+// fastRetryPolicy mirrors the engine test policy: no real backoff sleeps, a
+// two-failure breaker threshold, a short reprobe.
+func fastRetryPolicy() engine.RetryPolicy {
+	return engine.RetryPolicy{
+		Attempts:      2,
+		BaseDelay:     time.Microsecond,
+		FailThreshold: 2,
+		Reprobe:       20 * time.Millisecond,
+		Sleep:         func(time.Duration) {},
+	}
+}
+
+// TestChaosSaturationSheds saturates a 1-slot, 1-queue server with slow
+// compilations and asserts the overflow is shed with 429 + Retry-After while
+// admitted requests still succeed.
+func TestChaosSaturationSheds(t *testing.T) {
+	plan := faultinject.NewPlan(chaosSeed,
+		faultinject.Rule{Point: "pass.validate", Prob: 1, Kind: faultinject.KindLatency, Latency: 300 * time.Millisecond})
+	s, ts := newChaosServer(t, Options{Parallel: 1, QueueDepth: 1}, plan)
+
+	// Occupy the single compile slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if status, _, body := doFull(t, "POST", ts.URL+"/v1/compile?zair=0", chaosBody("slot")); status != http.StatusOK {
+			t.Errorf("slot holder: status %d: %s", status, body)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let it reach the semaphore
+
+	// Three more distinct compilations: one queues, two must shed.
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan outcome, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, hdr, _ := doFull(t, "POST", ts.URL+"/v1/compile?zair=0", chaosBody(fmt.Sprintf("burst-%d", i)))
+			results <- outcome{status, hdr.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+
+	var ok, shed int
+	for r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retryAfter != "1" {
+				t.Errorf("shed response Retry-After = %q, want \"1\"", r.retryAfter)
+			}
+		default:
+			t.Errorf("unexpected status %d", r.status)
+		}
+	}
+	if ok != 1 || shed != 2 {
+		t.Fatalf("burst outcomes: %d ok, %d shed; want 1 ok, 2 shed", ok, shed)
+	}
+	m := s.Metrics()
+	if m.Admission.Shed != 2 {
+		t.Fatalf("metrics shed = %d, want 2", m.Admission.Shed)
+	}
+	if m.Admission.QueueLimit != 1 {
+		t.Fatalf("metrics queue_limit = %d, want 1", m.Admission.QueueLimit)
+	}
+}
+
+// TestChaosShedNotMemoized verifies an overload rejection is never cached
+// against the key: the same request succeeds once load clears.
+func TestChaosShedNotMemoized(t *testing.T) {
+	plan := faultinject.NewPlan(chaosSeed,
+		faultinject.Rule{Point: "pass.validate", Prob: 1, Kind: faultinject.KindLatency, Latency: 250 * time.Millisecond})
+	_, ts2 := newChaosServer(t, Options{Parallel: 1, QueueDepth: 1}, plan)
+
+	var wg sync.WaitGroup
+	for _, name := range []string{"hold", "queue"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			doFull(t, "POST", ts2.URL+"/v1/compile?zair=0", chaosBody(name))
+		}(name)
+		time.Sleep(60 * time.Millisecond)
+	}
+	status, _, _ := doFull(t, "POST", ts2.URL+"/v1/compile?zair=0", chaosBody("victim"))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("victim status = %d, want 429", status)
+	}
+	wg.Wait()
+
+	// Load cleared: the identical request must now compile, proving the 429
+	// was not memoized under the cache key.
+	status, _, body := doFull(t, "POST", ts2.URL+"/v1/compile?zair=0", chaosBody("victim"))
+	if status != http.StatusOK {
+		t.Fatalf("victim retry status = %d: %s", status, body)
+	}
+}
+
+// TestChaosDeadline asserts a request-level timeout_ms surfaces as 504 and
+// is counted, while the same request without a deadline succeeds.
+func TestChaosDeadline(t *testing.T) {
+	plan := faultinject.NewPlan(chaosSeed,
+		faultinject.Rule{Point: "pass.validate", Prob: 1, Kind: faultinject.KindLatency, Latency: 400 * time.Millisecond})
+	s, ts := newChaosServer(t, Options{}, plan)
+
+	body := `{"qasm":` + strconv(tinyQASM) + `,"name":"deadline","timeout_ms":50}`
+	status, _, resp := doFull(t, "POST", ts.URL+"/v1/compile?zair=0", body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", status, resp)
+	}
+	if !strings.Contains(string(resp), "deadline of 50 ms exceeded") {
+		t.Fatalf("body = %s", resp)
+	}
+	if m := s.Metrics(); m.Admission.DeadlineExceeded != 1 {
+		t.Fatalf("deadline_exceeded = %d, want 1", m.Admission.DeadlineExceeded)
+	}
+
+	// No deadline: the slow compile completes.
+	status, _, resp = doFull(t, "POST", ts.URL+"/v1/compile?zair=0", chaosBody("deadline"))
+	if status != http.StatusOK {
+		t.Fatalf("undeadlined status = %d: %s", status, resp)
+	}
+}
+
+// TestChaosReadyzAndDrain walks the shutdown sequence: ready, then draining
+// (503 everywhere new work could enter), then Drain returns once jobs stop.
+func TestChaosReadyzAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if status, _ := do(t, "GET", ts.URL+"/readyz", ""); status != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", status)
+	}
+
+	// An async job in flight when the drain starts must still finish.
+	status, body := do(t, "POST", ts.URL+"/v1/compile?zair=0",
+		`{"requests":[`+chaosBody("drainee")+`],"async":true}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", status, body)
+	}
+	var job JobResponse
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	status, hdr, resp := doFull(t, "GET", ts.URL+"/readyz", "")
+	_ = hdr
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d: %s", status, resp)
+	}
+	status, hdr, resp = doFull(t, "POST", ts.URL+"/v1/compile", chaosBody("late"))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("compile during drain = %d: %s", status, resp)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("draining rejection missing Retry-After")
+	}
+
+	// The drained job reached a terminal state with its results intact.
+	status, body = do(t, "GET", ts.URL+"/v1/jobs/"+job.ID, "")
+	if status != http.StatusOK {
+		t.Fatalf("job poll = %d", status)
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != JobDone {
+		t.Fatalf("drained job status = %q, want done", job.Status)
+	}
+	if m := s.Metrics(); !m.Admission.Draining {
+		t.Fatal("metrics do not report draining")
+	}
+}
+
+// TestChaosJournalLifecycle pins the journal's durability window: the record
+// exists on disk the whole time the job is pending/running (here: stuck
+// behind a saturated compile slot) and is gone once the job is done.
+func TestChaosJournalLifecycle(t *testing.T) {
+	plan := faultinject.NewPlan(chaosSeed,
+		faultinject.Rule{Point: "pass.validate", Prob: 1, Kind: faultinject.KindLatency, Latency: 300 * time.Millisecond})
+	dir := t.TempDir()
+	s, ts := newChaosServer(t, Options{Parallel: 1}, plan)
+	if _, err := s.OpenJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the only compile slot so the async job cannot finish yet.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doFull(t, "POST", ts.URL+"/v1/compile?zair=0", chaosBody("slot"))
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	status, body := do(t, "POST", ts.URL+"/v1/compile?zair=0",
+		`{"requests":[`+chaosBody("journaled")+`],"async":true}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", status, body)
+	}
+	var job JobResponse
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	record := filepath.Join(dir, job.ID+".json")
+	if _, err := os.Stat(record); err != nil {
+		t.Fatalf("journal record missing while job in flight: %v", err)
+	}
+
+	wg.Wait()
+	waitJob(t, ts.URL, job.ID, JobDone)
+	// Removal happens just after the terminal state becomes visible.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := os.Stat(record); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal record not removed after job completion")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosJournalReplay simulates the crash: journal records left by a dead
+// process — one healthy, one torn — are replayed on the next start. The
+// healthy job re-runs to completion under its original id; the torn one is
+// registered as interrupted instead of vanishing.
+func TestChaosJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = jl.record(journalEntry{
+		ID:       "job-3",
+		Requests: []CompileRequest{{QASM: tinyQASM, Name: "replayed"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record torn mid-write by the crash (no temp+rename — the damage is
+	// the point).
+	if err := os.WriteFile(filepath.Join(dir, "job-9.json"), []byte(`{"id":"job-9","requ`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, Options{})
+	n, err := s.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d jobs, want 1", n)
+	}
+
+	job := waitJob(t, ts.URL, "job-3", JobDone)
+	if len(job.Results) != 1 || job.Results[0].Result == nil {
+		t.Fatalf("replayed job results: %+v", job.Results)
+	}
+	if got := job.Results[0].Result.Name; got != "replayed" {
+		t.Fatalf("replayed program name = %q", got)
+	}
+
+	status, body := do(t, "GET", ts.URL+"/v1/jobs/job-9", "")
+	if status != http.StatusOK {
+		t.Fatalf("interrupted job poll = %d", status)
+	}
+	var torn JobResponse
+	if err := json.Unmarshal(body, &torn); err != nil {
+		t.Fatal(err)
+	}
+	if torn.Status != JobInterrupted {
+		t.Fatalf("torn job status = %q, want interrupted", torn.Status)
+	}
+
+	// jobSeq advanced past every recovered id: new jobs never collide.
+	if j := s.newJob(1); j.id != "job-10" {
+		t.Fatalf("next job id = %q, want job-10", j.id)
+	}
+	if m := s.Metrics(); m.JobsReplayed != 1 {
+		t.Fatalf("jobs_replayed = %d, want 1", m.JobsReplayed)
+	}
+}
+
+// TestChaosBreakerMemoryOnly injects persistent disk-tier I/O errors under a
+// serving cache and asserts the degradation contract: the breaker opens, the
+// service keeps compiling (memory-only) with responses byte-identical to a
+// fault-free server, and the disk tier re-attaches when the faults stop.
+func TestChaosBreakerMemoryOnly(t *testing.T) {
+	plan := faultinject.NewPlan(chaosSeed)
+	disk, err := engine.OpenDiskCacheFS(t.TempDir(), 0, faultinject.WrapFS(engine.OSFS, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.SetRetryPolicy(fastRetryPolicy())
+	s, ts := newChaosServer(t, Options{Disk: disk}, plan)
+	_, clean := newTestServer(t, Options{})
+
+	compile := func(base, name string) []byte {
+		t.Helper()
+		status, _, body := doFull(t, "POST", base+"/v1/compile", chaosBody(name))
+		if status != http.StatusOK {
+			t.Fatalf("compile %s = %d: %s", name, status, body)
+		}
+		return compileMSRe.ReplaceAll(body, []byte(`"compile_ms": 0`))
+	}
+
+	// Disk dies: every read and staged write errors.
+	plan.Add(
+		faultinject.Rule{Point: faultinject.PointReadFile, Prob: 1, Kind: faultinject.KindError},
+		faultinject.Rule{Point: faultinject.PointCreateTemp, Prob: 1, Kind: faultinject.KindError},
+	)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("degraded-%d", i)
+		got := compile(ts.URL, name)
+		want := compile(clean.URL, name)
+		if string(got) != string(want) {
+			t.Fatalf("response under disk faults differs from fault-free run:\n--- faulty ---\n%s\n--- clean ---\n%s", got, want)
+		}
+	}
+	m := s.Metrics()
+	if m.Cache.BreakerState != engine.BreakerOpen {
+		t.Fatalf("breaker state = %q, want open (metrics: %+v)", m.Cache.BreakerState, m.Cache)
+	}
+	if m.Cache.BreakerOpens == 0 || m.Cache.DiskFailures == 0 {
+		t.Fatalf("breaker counters missing: %+v", m.Cache)
+	}
+
+	// Disk recovers: after the reprobe window the tier starts persisting
+	// again and responses stay identical.
+	plan.SetEnabled(false)
+	time.Sleep(fastRetryPolicy().Reprobe + 20*time.Millisecond)
+	name := "recovered"
+	if got, want := compile(ts.URL, name), compile(clean.URL, name); string(got) != string(want) {
+		t.Fatalf("post-recovery response differs:\n%s\nvs\n%s", got, want)
+	}
+	m = s.Metrics()
+	if m.Cache.BreakerState != engine.BreakerClosed {
+		t.Fatalf("breaker did not close: %+v", m.Cache)
+	}
+	if m.Cache.DiskEntries == 0 {
+		t.Fatalf("recovered disk tier holds no entries: %+v", m.Cache)
+	}
+}
+
+// waitJob polls a job until it reaches want (or any terminal state) and
+// returns the final response.
+func waitJob(t *testing.T, base, id string, want JobStatus) JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body := do(t, "GET", base+"/v1/jobs/"+id, "")
+		if status != http.StatusOK {
+			t.Fatalf("job %s poll = %d: %s", id, status, body)
+		}
+		var job JobResponse
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		switch job.Status {
+		case want:
+			return job
+		case JobPending, JobRunning:
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", id, job.Status)
+			}
+			time.Sleep(20 * time.Millisecond)
+		default:
+			t.Fatalf("job %s reached %q, want %q (results: %+v)", id, job.Status, want, job.Results)
+		}
+	}
+}

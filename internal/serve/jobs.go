@@ -32,14 +32,19 @@ type job struct {
 // dropped job get a 404, the same as for a never-submitted id.
 const maxRetainedJobs = 256
 
+// newJobState builds a pending job with its cancellation context.
+func newJobState(id string, total int) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{id: id, total: total, status: JobPending, ctx: ctx, cancel: cancel}
+}
+
 // newJob registers a pending job, evicting the oldest finished jobs when
 // the table is over its retention bound.
 func (s *Server) newJob(total int) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobSeq++
-	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{id: fmt.Sprintf("job-%d", s.jobSeq), total: total, status: JobPending, ctx: ctx, cancel: cancel}
+	j := newJobState(fmt.Sprintf("job-%d", s.jobSeq), total)
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
 	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.jobOrder); {
@@ -61,9 +66,21 @@ func (s *Server) newJob(total int) *job {
 	return j
 }
 
+// startJob launches a job's batch on a background goroutine tracked by the
+// drain WaitGroup, so graceful shutdown can wait for running jobs.
+func (s *Server) startJob(j *job, batch []CompileRequest, defaultCompiler string, includeZAIR bool) {
+	s.jobWG.Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		s.runJob(j, batch, defaultCompiler, includeZAIR)
+	}()
+}
+
 // runJob executes a job's batch in the background, tracking per-item
 // completion for pollers. The job ends JobDone unless every item failed, or
-// JobCanceled when a cancellation arrived before it finished.
+// JobCanceled when a cancellation arrived before it finished. Reaching a
+// terminal state retires the job's journal record — the job can no longer
+// be lost, so it must not be replayed.
 func (s *Server) runJob(j *job, batch []CompileRequest, defaultCompiler string, includeZAIR bool) {
 	j.mu.Lock()
 	if !j.canceled {
@@ -101,6 +118,9 @@ func (s *Server) runJob(j *job, batch []CompileRequest, defaultCompiler string, 
 		j.status = JobDone
 	}
 	j.mu.Unlock()
+	if s.journal != nil {
+		s.journal.remove(j.id)
+	}
 }
 
 // handleJobCancel serves DELETE /v1/jobs/{id}: it cancels the job's

@@ -14,13 +14,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // cacheMetrics projects tiered-cache counters onto the API shape.
 func cacheMetrics(st engine.TieredStats) CacheMetrics {
 	return CacheMetrics{
-		MemHits:     st.MemHits,
-		DiskHits:    st.DiskHits,
-		Misses:      st.Misses,
-		HitRate:     st.HitRate(),
-		MemEntries:  st.MemEntries,
-		DiskEntries: st.Disk.Entries,
-		DiskBytes:   st.Disk.Bytes,
+		MemHits:      st.MemHits,
+		DiskHits:     st.DiskHits,
+		Misses:       st.Misses,
+		HitRate:      st.HitRate(),
+		MemEntries:   st.MemEntries,
+		DiskEntries:  st.Disk.Entries,
+		DiskBytes:    st.Disk.Bytes,
+		DiskRetries:  st.Disk.Retries,
+		DiskFailures: st.Disk.IOFailures,
+		BreakerOpens: st.Disk.BreakerOpens,
+		BreakerSkips: st.Disk.BreakerSkips,
+		BreakerState: st.Disk.BreakerState,
 	}
 }
 
@@ -32,9 +37,17 @@ func (s *Server) Metrics() MetricsResponse {
 		InFlightCompiles: s.inflight.Load(),
 		Cache:            cacheMetrics(s.cache.Stats()),
 		PassCache:        cacheMetrics(s.artifacts.Stats()),
-		Jobs:             map[JobStatus]int{},
-		Compilers:        map[string]LatencyMetrics{},
-		Passes:           map[string]LatencyMetrics{},
+		Admission: AdmissionMetrics{
+			QueueDepth:       s.waiting.Load(),
+			QueueLimit:       s.opts.QueueDepth,
+			Shed:             s.shed.Load(),
+			DeadlineExceeded: s.deadlines.Load(),
+			Draining:         s.draining.Load(),
+		},
+		Jobs:         map[JobStatus]int{},
+		JobsReplayed: s.jobsReplayed.Load(),
+		Compilers:    map[string]LatencyMetrics{},
+		Passes:       map[string]LatencyMetrics{},
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

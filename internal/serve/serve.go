@@ -23,14 +23,24 @@
 //	GET    /v1/jobs/{id}   poll an async job
 //	DELETE /v1/jobs/{id}   cancel an async job
 //	GET    /healthz        liveness probe
+//	GET    /readyz         readiness probe: 503 while draining for shutdown
 //	GET    /metrics        cache hit rates (whole-compile and pass-level),
-//	                       in-flight compiles, per-compiler and per-pass latency
+//	                       in-flight compiles, per-compiler and per-pass latency,
+//	                       admission queue/shed counters, disk breaker state
+//
+// The service is built to degrade rather than collapse: compilations that
+// would exceed the bounded admission queue are shed with 429 + Retry-After,
+// each request can carry its own deadline ("timeout_ms"), accepted async
+// jobs are journaled to the cache directory and replayed after a crash, and
+// persistent disk-tier failures trip a circuit breaker that drops the cache
+// to memory-only until the disk recovers.
 package serve
 
 import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -63,7 +73,24 @@ type Options struct {
 	MaxBatch int
 	// MaxBodyBytes caps the request body size (default 8 MiB).
 	MaxBodyBytes int64
+	// QueueDepth bounds the admission queue: the number of compilations
+	// allowed to wait for a compile slot beyond the ones running. A request
+	// arriving with the queue full is shed immediately with 429 and a
+	// Retry-After header instead of queueing unboundedly (default 64).
+	QueueDepth int
+	// RetryAfter is the hint returned in the Retry-After header of 429/503
+	// responses (default 1s; rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
 }
+
+// ErrOverloaded is the admission controller's rejection: every compile slot
+// is busy and the waiting queue is at QueueDepth. It maps to HTTP 429 with
+// a Retry-After header and is never memoized by the cache.
+var ErrOverloaded = errors.New("server overloaded: compile admission queue is full")
+
+// ErrDraining rejects new compilations while the server drains for
+// shutdown. It maps to HTTP 503 with a Retry-After header.
+var ErrDraining = errors.New("server is draining")
 
 // Server is the zac-serve request handler: a tiered compilation cache, a
 // pass-artifact cache shared across registry compilers, a
@@ -77,6 +104,15 @@ type Server struct {
 	requests atomic.Uint64
 	compiles atomic.Uint64
 	inflight atomic.Int64
+
+	waiting      atomic.Int64  // compilations queued for a compile slot
+	shed         atomic.Uint64 // requests rejected 429 by admission
+	deadlines    atomic.Uint64 // requests that missed their timeout_ms
+	draining     atomic.Bool   // shutdown in progress: /readyz 503, compiles refused
+	jobsReplayed atomic.Uint64 // jobs re-run from the crash journal
+
+	journal *jobJournal    // nil without OpenJournal
+	jobWG   sync.WaitGroup // running async jobs, waited on by Drain
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -101,6 +137,12 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 8 << 20
 	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
 	cache := engine.NewTiered(opts.MemEntries)
 	if opts.Disk != nil {
 		cache.SetDisk(opts.Disk)
@@ -123,6 +165,7 @@ func New(opts Options) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -138,6 +181,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz reports readiness for traffic: 200 while serving, 503 once a
+// drain has begun — the signal load balancers and orchestrators use to stop
+// routing to an instance that is shutting down (the process stays live, so
+// /healthz keeps answering 200 throughout).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// retryAfterSeconds renders the Retry-After hint, at least one whole second.
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// StartDrain flips the server into draining mode: /readyz answers 503 and
+// new compile submissions are refused with 503 + Retry-After. In-flight
+// work is unaffected; use Drain to wait for it.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain enters draining mode and waits for every running async job to
+// finish, up to the context's deadline. Jobs still unfinished when the
+// deadline fires stay recorded in the journal, so the next start replays
+// them — an accepted job is never silently lost. Synchronous requests are
+// the HTTP server's to drain (http.Server.Shutdown waits for handlers).
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // handleCompile serves POST /v1/compile: a bare CompileRequest or a batch,
 // synchronous by default, async as a job with "async":true. Query parameter
 // compiler=NAME selects a registry compiler for every request that does not
@@ -146,6 +235,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // byte-identical to `zac -out`. The request context is propagated into the
 // pipeline, so disconnecting cancels an in-flight compilation.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
 	var req BatchRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -173,7 +267,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	if req.Async {
 		j := s.newJob(len(batch))
-		go s.runJob(j, batch, defaultCompiler, includeZAIR)
+		// Journal before acknowledging: once the client holds a 202, the
+		// job must survive a crash. A job we cannot make durable is not
+		// accepted.
+		if s.journal != nil {
+			entry := journalEntry{ID: j.id, Requests: batch, DefaultCompiler: defaultCompiler, IncludeZAIR: includeZAIR}
+			if err := s.journal.record(entry); err != nil {
+				s.dropJob(j.id)
+				w.Header().Set("Retry-After", s.retryAfterSeconds())
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journaling job: %w", err))
+				return
+			}
+		}
+		s.startJob(j, batch, defaultCompiler, includeZAIR)
 		writeJSON(w, http.StatusAccepted, j.response())
 		return
 	}
@@ -185,7 +291,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	item := results[0]
 	if item.Error != "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%s", item.Error))
+		status := item.status
+		if status == 0 {
+			status = http.StatusBadRequest
+		}
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+		}
+		writeError(w, status, fmt.Errorf("%s", item.Error))
 		return
 	}
 	if rawZAIR {
@@ -226,21 +339,41 @@ func (s *Server) compileBatch(ctx context.Context, batch []CompileRequest, defau
 	return items
 }
 
-// compileItem wraps compileOne into a BatchItem. It runs on goroutines the
-// service spawned itself — not net/http handler goroutines — so a panic
-// anywhere in a compiler would kill the whole process; contain it as a
-// per-item error instead.
+// compileItem wraps compileOne into a BatchItem, applying the request's
+// timeout_ms deadline and classifying failures into the HTTP status a
+// single synchronous request reports (batch items carry the message only).
+// It runs on goroutines the service spawned itself — not net/http handler
+// goroutines — so a panic anywhere in a compiler would kill the whole
+// process; contain it as a per-item error instead.
 func (s *Server) compileItem(ctx context.Context, req CompileRequest, defaultCompiler string, includeZAIR bool) (item BatchItem) {
 	defer func() {
 		if r := recover(); r != nil {
 			item = BatchItem{Error: fmt.Sprintf("compile panicked: %v", r)}
 		}
 	}()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
 	res, err := s.compileOne(ctx, req, defaultCompiler, includeZAIR)
-	if err != nil {
+	switch {
+	case err == nil:
+		return BatchItem{Result: res}
+	case errors.Is(err, ErrOverloaded):
+		return BatchItem{Error: err.Error(), status: http.StatusTooManyRequests}
+	case req.TimeoutMS > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+		// The deadline may surface as Canceled: when the last waiter leaves a
+		// shared computation, its context is cancelled rather than deadlined.
+		s.deadlines.Add(1)
+		return BatchItem{
+			Error:  fmt.Sprintf("deadline of %d ms exceeded", req.TimeoutMS),
+			status: http.StatusGatewayTimeout,
+		}
+	default:
 		return BatchItem{Error: err.Error()}
 	}
-	return BatchItem{Result: res}
 }
 
 // compileOne resolves one request and routes it through the compiler
@@ -268,10 +401,8 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 	// request sharing it has disconnected, so one client abandoning a
 	// compile never fails an identical concurrent request.
 	res, err := engine.GetTieredCtx(s.cache, ctx, key, core.ResultCodec(), func(ctx context.Context) (*core.Result, error) {
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err() // don't queue dead work ahead of live requests
+		if err := s.admit(ctx); err != nil {
+			return nil, err
 		}
 		defer func() { <-s.sem }()
 		s.inflight.Add(1)
@@ -323,6 +454,32 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 		out.ZAIR = raw
 	}
 	return out, nil
+}
+
+// admit acquires a compile slot through the bounded admission queue: a free
+// slot is taken immediately; otherwise the caller waits in the queue unless
+// it is already at QueueDepth, in which case the request is shed with
+// ErrOverloaded (Transient-wrapped, so the cache never memoizes a rejection
+// against the key). Cache hits never reach admission — only work that would
+// actually occupy a compile slot can be shed.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.opts.QueueDepth) {
+		s.waiting.Add(-1)
+		s.shed.Add(1)
+		return engine.Transient(ErrOverloaded)
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err() // don't queue dead work ahead of live requests
+	}
 }
 
 // stagedInput preprocesses the circuit for the chosen compiler through the

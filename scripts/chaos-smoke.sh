@@ -1,0 +1,91 @@
+#!/bin/sh
+# Chaos smoke: run the pinned-seed fault-injection suites against the serve
+# layer and the disk cache tier, then an end-to-end crash-recovery drill
+# against the real zac-serve binary — a journal record left by a "crashed"
+# process is replayed on boot (same job id, results intact), /readyz answers
+# ready, and SIGTERM drains cleanly.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:8757}"
+WORK="$(mktemp -d)"
+PID=""
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# 1. Deterministic chaos schedules (seeds pinned inside the tests): admission
+#    shedding with 429 + Retry-After, deadline mapping, drain + journal
+#    replay, breaker trip/recovery with byte-identical responses, and the
+#    disk tier's self-healing under partial writes, torn renames, bit flips.
+go test -count=1 -run 'TestChaos' ./internal/serve
+go test -count=1 -run 'TestDiskCacheChaosSelfHeals|TestDiskCacheBreakerTripAndRecover' ./internal/faultinject
+
+# 2. Crash-recovery drill against the binary: seed the journal with a record
+#    a dead process would have left behind, boot, and require the job to be
+#    replayed to completion under its original id.
+go build -o "$WORK/zac-serve" ./cmd/zac-serve
+mkdir -p "$WORK/cache/jobs"
+cat > "$WORK/cache/jobs/job-5.json" <<'EOF'
+{
+ "id": "job-5",
+ "requests": [
+  {"circuit": "bv_n14"}
+ ],
+ "include_zair": false
+}
+EOF
+
+"$WORK/zac-serve" -addr "$ADDR" -cachedir "$WORK/cache" >"$WORK/serve.log" 2>&1 &
+PID=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "zac-serve never became healthy" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+
+grep -q 'replaying 1 journaled job' "$WORK/serve.log"
+curl -fsS "http://$ADDR/readyz" | grep -q '"status": "ready"'
+
+done=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/v1/jobs/job-5" | grep -q '"status": "done"'; then done=1; break; fi
+    sleep 0.2
+done
+if [ "$done" != 1 ]; then
+    echo "replayed job-5 never finished" >&2
+    curl -fsS "http://$ADDR/v1/jobs/job-5" >&2 || true
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+
+curl -fsS "http://$ADDR/metrics" | grep -q '"jobs_replayed": 1'
+
+# The finished job retired its journal record (removal is just after the
+# terminal state becomes visible, so allow a beat).
+gone=0
+for _ in $(seq 1 50); do
+    if [ ! -e "$WORK/cache/jobs/job-5.json" ]; then gone=1; break; fi
+    sleep 0.1
+done
+if [ "$gone" != 1 ]; then
+    echo "journal record for finished job-5 was not removed" >&2
+    exit 1
+fi
+
+# 3. SIGTERM drains: the process exits cleanly on its own.
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=""
+if [ "$status" != 0 ]; then
+    echo "zac-serve exited $status on SIGTERM" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+grep -q 'drained, bye' "$WORK/serve.log"
+
+echo "chaos-smoke: OK"
