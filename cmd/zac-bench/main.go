@@ -65,6 +65,8 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = all CPUs, 1 = sequential)")
 	progress := flag.Bool("progress", false, "print one line per completed compilation to stderr")
 	noCache := flag.Bool("nocache", false, "disable the compilation cache (recompile shared circuits)")
+	saRestarts := flag.Int("sa-restarts", 1, "independent SA initial-placement chains per ZAC compilation, best kept (≥ 1)")
+	workers := flag.Int("workers", 0, "intra-compile parallelism budget per compilation (0 = all cores)")
 	cacheDir := flag.String("cachedir", "", "persistent compilation-cache directory shared with zac-serve and zairsim")
 	cacheMB := flag.Int64("cachemb", 0, "disk cache size bound in MiB (0 = unbounded; needs -cachedir)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -128,7 +130,16 @@ func run() int {
 		ids = experiments.Registry()
 	}
 
-	cfg := experiments.Config{Parallel: *parallel, NoCache: *noCache}
+	if *saRestarts < 1 {
+		fmt.Fprintf(os.Stderr, "zac-bench: -sa-restarts must be >= 1, got %d\n", *saRestarts)
+		return 1
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "zac-bench: -workers must be >= 0 (0 = all cores), got %d\n", *workers)
+		return 1
+	}
+
+	cfg := experiments.Config{Parallel: *parallel, NoCache: *noCache, SARestarts: *saRestarts, Workers: *workers}
 	if *progress {
 		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "[progress] "+msg) }
 	}

@@ -44,9 +44,21 @@ func main() {
 	compilerName := flag.String("compiler", "",
 		"registry compiler (zac, zac-vanilla, enola, atomique, nalac, sc-heron, sc-grid, …); overrides -setting")
 	aods := flag.Int("aods", 0, "override the number of AODs (0 = architecture default)")
+	saRestarts := flag.Int("sa-restarts", 1, "independent SA initial-placement chains, best kept (zac family; ≥ 1)")
+	workers := flag.Int("workers", 0, "intra-compile parallelism budget (0 = all cores; zac family)")
 	out := flag.String("out", "", "write the ZAIR program JSON to this file")
 	showTrace := flag.Bool("trace", false, "print the program timeline and AOD Gantt chart")
 	flag.Parse()
+
+	// Malformed parallelism knobs exit 1 up front instead of silently
+	// clamping: a script that typos -sa-restarts should not publish
+	// single-chain results as multi-restart ones.
+	if *saRestarts < 1 {
+		fatal(fmt.Errorf("-sa-restarts must be >= 1, got %d", *saRestarts))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0 (0 = all cores), got %d", *workers))
+	}
 
 	if *list {
 		for _, b := range bench.All() {
@@ -111,7 +123,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := comp.Compile(ctx, staged, a, compiler.Options{})
+	res, err := comp.Compile(ctx, staged, a, compiler.Options{SARestarts: *saRestarts, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"zac/internal/matching"
 	"zac/internal/place"
 	"zac/internal/resynth"
+	"zac/internal/schedule"
 	"zac/internal/workload"
 )
 
@@ -55,6 +56,12 @@ type Case struct {
 	// repetition; sub-millisecond kernels use > 1 so a repetition rises
 	// above timer granularity. Recorded ns/op samples are per operation.
 	InnerIters int
+	// Procs, when positive, pins runtime.GOMAXPROCS to this value for the
+	// duration of the cell (restored afterwards) — the scaling axis of the
+	// multi-core cells. Because GOMAXPROCS is process-global, a matrix
+	// containing any Procs > 0 cell must run with Workers == 1; Run refuses
+	// otherwise. 0 leaves the runtime untouched.
+	Procs int
 	// setup builds the case's op closure; called once per run, outside
 	// the timed region.
 	setup func() (func(ctx context.Context) error, error)
@@ -143,6 +150,37 @@ func Micro() []Case {
 				}, nil
 			},
 		})
+	}
+	// The multi-core scaling cells: BuildPlan with eight SA restarts plus
+	// the full schedule pass, pinned at GOMAXPROCS 1 and 8 with a matching
+	// worker budget. Comparing a cell against itself across commits catches
+	// scaling regressions; the gate refuses to compare gmp1 against gmp8.
+	for _, name := range []string{"qft_n18", "ising_n42"} {
+		for _, procs := range []int{1, 8} {
+			name, procs := name, procs
+			cases = append(cases, Case{
+				Name: fmt.Sprintf("micro/buildplan_sched/%s/gmp%d", name, procs),
+				Kind: KindMicro, ArchFP: refFP, InnerIters: 1, Procs: procs,
+				setup: func() (func(context.Context) error, error) {
+					a := arch.Reference()
+					staged, err := stagedBenchmark(name)
+					if err != nil {
+						return nil, err
+					}
+					opts := place.Default()
+					opts.SARestarts = 8
+					opts.Workers = procs
+					return func(ctx context.Context) error {
+						plan, err := place.BuildPlan(ctx, a, staged, opts)
+						if err != nil {
+							return err
+						}
+						_, err = schedule.BuildWithOptions(ctx, a, staged, plan, schedule.Options{Workers: procs})
+						return err
+					}, nil
+				},
+			})
+		}
 	}
 	return cases
 }

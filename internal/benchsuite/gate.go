@@ -105,6 +105,7 @@ func Gate(baseline, current []Record, opts GateOptions) ([]Verdict, error) {
 	type side struct {
 		samples []float64
 		archFP  string
+		procs   int
 	}
 	collect := func(records []Record) map[string]*side {
 		m := map[string]*side{}
@@ -114,7 +115,7 @@ func Gate(baseline, current []Record, opts GateOptions) ([]Verdict, error) {
 			}
 			s, ok := m[r.Case]
 			if !ok {
-				s = &side{archFP: r.ArchFP}
+				s = &side{archFP: r.ArchFP, procs: r.Procs}
 				m[r.Case] = s
 			}
 			s.samples = append(s.samples, r.NsPerOp...)
@@ -134,6 +135,12 @@ func Gate(baseline, current []Record, opts GateOptions) ([]Verdict, error) {
 		case cur.archFP != old.archFP:
 			v.Mode = ModeSkipped
 			v.Note = fmt.Sprintf("architecture fingerprint changed (%s → %s); not comparable", old.archFP, cur.archFP)
+		case old.procs != 0 && cur.procs != 0 && old.procs != cur.procs:
+			// Same rule as an architecture change: different GOMAXPROCS
+			// means a different machine configuration, not a code delta.
+			// Records predating the field (0 = unknown) stay comparable.
+			v.Mode = ModeSkipped
+			v.Note = fmt.Sprintf("gomaxprocs changed (%d → %d); not comparable", old.procs, cur.procs)
 		default:
 			v = judge(name, old.samples, cur.samples, opts)
 		}

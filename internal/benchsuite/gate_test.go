@@ -146,6 +146,36 @@ func TestGateMissingAndArchChange(t *testing.T) {
 	}
 }
 
+// A GOMAXPROCS change between the two sides is skipped like an architecture
+// change — even a 2× "slowdown" is not comparable across core counts — while
+// legacy records without the field (Procs 0) stay comparable.
+func TestGateProcsChange(t *testing.T) {
+	old := []Record{rec("m1", "base", "micro/buildplan_sched/qft_n18/gmp8", 1, baseSamples...)}
+	old[0].Procs = 8
+	cur := rec("m1", "cur", "micro/buildplan_sched/qft_n18/gmp8", 2, scaled(baseSamples, 2)...)
+	cur.Procs = 1
+	verdicts, err := Gate(old, []Record{cur}, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 || verdicts[0].Mode != ModeSkipped || verdicts[0].Regressed {
+		t.Fatalf("procs-change verdict = %+v (must skip, not compare)", verdicts)
+	}
+	if !strings.Contains(verdicts[0].Note, "gomaxprocs") {
+		t.Errorf("procs-change note = %q", verdicts[0].Note)
+	}
+
+	// Baseline predating the field: comparable, and the 2× shows up.
+	legacy := []Record{rec("m1", "base", "micro/buildplan_sched/qft_n18/gmp8", 1, baseSamples...)}
+	verdicts, err = Gate(legacy, []Record{cur}, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 || verdicts[0].Mode != ModeStats || !verdicts[0].Regressed {
+		t.Fatalf("legacy-baseline verdict = %+v (must compare)", verdicts)
+	}
+}
+
 // The Cases filter restricts the gate to named cells.
 func TestGateCaseFilter(t *testing.T) {
 	old := []Record{

@@ -3,6 +3,7 @@ package benchsuite
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"zac/internal/benchsuite/stats"
@@ -40,6 +41,13 @@ type Record struct {
 	// discarded repetitions, InnerIters operations per timed repetition.
 	Warmup     int `json:"warmup"`
 	InnerIters int `json:"inner_iters"`
+	// Procs is the effective runtime.GOMAXPROCS the cell ran under —
+	// Case.Procs when the cell pinned it, the ambient value otherwise. The
+	// gate refuses to compare records whose Procs differ, exactly like an
+	// architecture-fingerprint change. omitempty keeps pre-existing store
+	// lines (which carry no field, i.e. 0 = unknown) comparable with each
+	// other.
+	Procs int `json:"gomaxprocs,omitempty"`
 	// NsPerOp holds one per-operation nanosecond sample per timed
 	// repetition — the raw material of the Mann-Whitney gate.
 	NsPerOp []float64 `json:"ns_per_op"`
@@ -99,6 +107,15 @@ func (c RunConfig) normalized() RunConfig {
 // cfg's commit stamp.
 func Run(ctx context.Context, cases []Case, cfg RunConfig) ([]Record, error) {
 	cfg = cfg.normalized()
+	if cfg.Workers > 1 {
+		// GOMAXPROCS is process-global: a Procs-pinning cell running next
+		// to any other cell would silently distort both measurements.
+		for _, c := range cases {
+			if c.Procs > 0 {
+				return nil, fmt.Errorf("benchsuite: case %s pins GOMAXPROCS; the matrix must run with Workers=1, got %d", c.Name, cfg.Workers)
+			}
+		}
+	}
 	fp := Machine()
 	records, err := engine.Map(ctx, cfg.Workers, len(cases), func(i int) (Record, error) {
 		rec, err := runCase(ctx, cases[i], cfg, fp)
@@ -122,6 +139,12 @@ func runCase(ctx context.Context, c Case, cfg RunConfig, fp Fingerprint) (Record
 	op, err := c.setup()
 	if err != nil {
 		return Record{}, err
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if c.Procs > 0 && c.Procs != procs {
+		prev := runtime.GOMAXPROCS(c.Procs)
+		defer runtime.GOMAXPROCS(prev)
+		procs = c.Procs
 	}
 	inner := c.InnerIters
 	if inner <= 0 {
@@ -155,6 +178,7 @@ func runCase(ctx context.Context, c Case, cfg RunConfig, fp Fingerprint) (Record
 		ArchFP:     c.ArchFP,
 		Warmup:     cfg.Warmup,
 		InnerIters: inner,
+		Procs:      procs,
 		NsPerOp:    samples,
 	}, nil
 }

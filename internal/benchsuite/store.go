@@ -270,6 +270,11 @@ func (s *Store) ExportBenchJSON(machineID, commit string) ([]byte, error) {
 		"micro/sa_initial":          "BenchmarkSAInitial",
 		"micro/buildplan/qft_n18":   "BenchmarkBuildPlan/qft_n18",
 		"micro/buildplan/ising_n42": "BenchmarkBuildPlan/ising_n42",
+
+		"micro/buildplan_sched/qft_n18/gmp1":   "BenchmarkBuildPlanSched/qft_n18/gmp1",
+		"micro/buildplan_sched/qft_n18/gmp8":   "BenchmarkBuildPlanSched/qft_n18/gmp8",
+		"micro/buildplan_sched/ising_n42/gmp1": "BenchmarkBuildPlanSched/ising_n42/gmp1",
+		"micro/buildplan_sched/ising_n42/gmp8": "BenchmarkBuildPlanSched/ising_n42/gmp8",
 	}
 	type entry struct {
 		name string

@@ -2,6 +2,7 @@ package benchsuite
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -117,6 +118,40 @@ func names(cases []Case) []string {
 	return out
 }
 
+// A Procs-pinning cell runs under the pinned GOMAXPROCS (stamped into the
+// record, ambient value restored afterwards), and a parallel matrix
+// containing such a cell is refused up front.
+func TestRunProcsPinning(t *testing.T) {
+	ambient := runtime.GOMAXPROCS(0)
+	seen := 0
+	cases := []Case{{
+		Name: "micro/test/gmp2", Kind: KindMicro, InnerIters: 1, Procs: 2,
+		setup: func() (func(context.Context) error, error) {
+			return func(context.Context) error {
+				seen = runtime.GOMAXPROCS(0)
+				return nil
+			}, nil
+		},
+	}}
+	records, err := Run(context.Background(), cases, RunConfig{Reps: 2, Commit: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Errorf("op ran under GOMAXPROCS %d, want 2", seen)
+	}
+	if records[0].Procs != 2 {
+		t.Errorf("record Procs = %d, want 2", records[0].Procs)
+	}
+	if got := runtime.GOMAXPROCS(0); got != ambient {
+		t.Errorf("GOMAXPROCS not restored: %d, want %d", got, ambient)
+	}
+
+	if _, err := Run(context.Background(), cases, RunConfig{Reps: 1, Workers: 2, Commit: "c"}); err == nil {
+		t.Error("parallel matrix with a Procs-pinning cell accepted")
+	}
+}
+
 // One real compile cell through the runner: the smoke matrix's smallest
 // spec through ZAC, sampled twice.
 func TestRunCompileCase(t *testing.T) {
@@ -142,6 +177,8 @@ func TestMicroCaseNames(t *testing.T) {
 	want := []string{
 		"micro/jv_dense", "micro/jv_sparse", "micro/sa_initial",
 		"micro/buildplan/qft_n18", "micro/buildplan/ising_n42",
+		"micro/buildplan_sched/qft_n18/gmp1", "micro/buildplan_sched/qft_n18/gmp8",
+		"micro/buildplan_sched/ising_n42/gmp1", "micro/buildplan_sched/ising_n42/gmp8",
 	}
 	got := names(Micro())
 	if strings.Join(got, ",") != strings.Join(want, ",") {

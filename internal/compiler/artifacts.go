@@ -56,9 +56,11 @@ func (ar *Artifacts) Staged(key string, splitSites int, build func() (*circuit.S
 
 // planKey renders the memoization key of a placement artifact. place.Options
 // is a flat struct of scalars, so its %+v rendering is a stable, complete
-// identity.
+// identity; Canonical() fills defaults and strips the execution-only Workers
+// knob, so two option sets that produce the same plan share one artifact
+// regardless of the worker budget they ran under.
 func planKey(key string, a *arch.Architecture, opts place.Options) string {
-	return fmt.Sprintf("pass:place|%s|arch=%s|opts=%+v", key, a.Fingerprint(), opts)
+	return fmt.Sprintf("pass:place|%s|arch=%s|opts=%+v", key, a.Fingerprint(), opts.Canonical())
 }
 
 // Plan memoizes the placement pass for (key, a, opts), computing the plan

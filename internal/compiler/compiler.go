@@ -36,6 +36,16 @@ type Options struct {
 	// Core overrides the ZAC pipeline configuration (nil = the compiler's
 	// preset). Baseline compilers ignore it.
 	Core *core.Options
+	// SARestarts, when positive, overrides the preset's annealing restart
+	// count for ZAC-family compilers (place.Options.SARestarts). Values > 1
+	// change the produced plan, so callers owning cache keys must reflect
+	// it. Baseline compilers ignore it.
+	SARestarts int
+	// Workers, when positive, bounds one compilation's intra-compile
+	// parallelism for ZAC-family compilers (place.Options.Workers). It never
+	// changes outputs and must stay out of cache keys. Baseline compilers
+	// ignore it.
+	Workers int
 }
 
 // Compiler compiles an already-preprocessed staged circuit for an

@@ -26,6 +26,12 @@ func (z *zacCompiler) Compile(ctx context.Context, staged *circuit.Staged, a *ar
 	if opts.Core != nil {
 		co = *opts.Core
 	}
+	if opts.SARestarts > 0 {
+		co.Place.SARestarts = opts.SARestarts
+	}
+	if opts.Workers > 0 {
+		co.Place.Workers = opts.Workers
+	}
 	var hooks core.Hooks
 	if opts.Artifacts != nil && opts.Key != "" {
 		hooks.MemoPlan = opts.Artifacts.memoPlan(opts.Key, a, co.Place)

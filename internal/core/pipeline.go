@@ -121,10 +121,12 @@ func PlacePass() Pass {
 }
 
 // SchedulePass runs load-balancing scheduling (§VI), turning the plan into
-// a timed ZAIR program.
+// a timed ZAIR program. It shares the placement pass's worker budget
+// (Options.Place.Workers) so one compile never exceeds its allowance.
 func SchedulePass() Pass {
 	return Pass{Name: "schedule", Run: func(ctx context.Context, st *PassState) error {
-		sched, err := schedule.Build(ctx, st.Arch, st.Staged, st.Plan)
+		sched, err := schedule.BuildWithOptions(ctx, st.Arch, st.Staged, st.Plan,
+			schedule.Options{Workers: st.Opts.Place.Workers})
 		if err != nil {
 			return err
 		}

@@ -63,6 +63,12 @@ func cachedFlat(cfg Config, b bench.Benchmark) (*circuit.Staged, error) {
 // cachedPlan.
 func cachedZAC(ctx context.Context, cfg Config, b bench.Benchmark, a *arch.Architecture, optKey string, opts core.Options) (*core.Result, error) {
 	key := "zac|" + b.Name + "|arch=" + a.Fingerprint() + "|opt=" + optKey
+	if cfg.SARestarts > 1 {
+		// Extra restarts change the plan, so they change the result
+		// identity; the suffix is conditional to keep existing single-chain
+		// cache entries (memory and disk) addressable.
+		key += fmt.Sprintf("|sar=%d", cfg.SARestarts)
+	}
 	return cachedDisk(cfg, key, core.ResultCodec(), func() (*core.Result, error) {
 		staged, err := cachedStaged(cfg, b, a)
 		if err != nil {
@@ -74,6 +80,7 @@ func cachedZAC(ctx context.Context, cfg Config, b bench.Benchmark, a *arch.Archi
 		}
 		r, err := zc.Compile(ctx, staged, a, compiler.Options{
 			Key: b.Name, Artifacts: cfg.artifacts(), Core: &opts,
+			SARestarts: cfg.SARestarts, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/zac: %w", b.Name, err)

@@ -25,6 +25,15 @@ type Config struct {
 	// Progress, when non-nil, receives a one-line message as each unit of
 	// work completes.
 	Progress func(msg string)
+	// SARestarts, when > 1, overrides the ZAC-family initial-placement
+	// restart count (independent annealing chains, best kept). It changes
+	// compiled outputs, so it joins the harness cache key; 0 and 1 keep the
+	// presets' single-chain default and the seed's keys.
+	SARestarts int
+	// Workers bounds each compilation's intra-compile parallelism (0 = all
+	// cores). Speed-only: it never changes outputs and stays out of every
+	// cache key.
+	Workers int
 }
 
 // Sequential is the Config matching the pre-engine harness: one worker,

@@ -1,0 +1,192 @@
+package matching
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// sparseProblem is a CSR assignment instance assembled from independent
+// components whose rows and columns are interleaved by a global shuffle, so
+// the parallel solver's component discovery has real work to do.
+type sparseProblem struct {
+	n, m     int
+	rowStart []int
+	cols     []int
+	costs    []float64
+}
+
+// genComponents builds numComp solvable components (each row gets a
+// guaranteed perfect-matching arc plus random extras) over shuffled global
+// row/column ids.
+func genComponents(r *rand.Rand, numComp, rowsPer, extraCols int) sparseProblem {
+	type arc struct {
+		row, col int
+		cost     float64
+	}
+	var arcs []arc
+	n, m := 0, 0
+	for c := 0; c < numComp; c++ {
+		nc := 1 + r.Intn(rowsPer)
+		mc := nc + r.Intn(extraCols+1)
+		rows := make([]int, nc)
+		for i := range rows {
+			rows[i] = n + i
+		}
+		colsG := make([]int, mc)
+		for j := range colsG {
+			colsG[j] = m + j
+		}
+		n += nc
+		m += mc
+		perm := r.Perm(mc)[:nc] // guaranteed perfect matching
+		for i := 0; i < nc; i++ {
+			seen := map[int]bool{perm[i]: true}
+			arcs = append(arcs, arc{rows[i], colsG[perm[i]], float64(r.Intn(1000)) / 8})
+			for e := r.Intn(3); e > 0; e-- {
+				j := r.Intn(mc)
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				arcs = append(arcs, arc{rows[i], colsG[j], float64(r.Intn(1000)) / 8})
+			}
+		}
+	}
+	// Shuffle global ids so components are not index-contiguous.
+	rowPerm, colPerm := r.Perm(n), r.Perm(m)
+	byRow := make([][]arc, n)
+	for _, a := range arcs {
+		a.row, a.col = rowPerm[a.row], colPerm[a.col]
+		byRow[a.row] = append(byRow[a.row], a)
+	}
+	p := sparseProblem{n: n, m: m, rowStart: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		for _, a := range byRow[i] {
+			p.cols = append(p.cols, a.col)
+			p.costs = append(p.costs, a.cost)
+		}
+		p.rowStart[i+1] = len(p.cols)
+	}
+	return p
+}
+
+// TestParallelMatchesSequential pins the ParallelSolver contract: assignments
+// and totals are bit-identical to Solver.SolveSparse across random
+// multi-component instances and worker counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	var ps ParallelSolver
+	var seq Solver
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := genComponents(r, 12+r.Intn(12), 8, 3)
+		if p.n < minParallelRows {
+			continue // generator floor keeps most cases parallel; skip tiny draws
+		}
+		want, wantTotal, wantErr := seq.SolveSparse(p.n, p.m, p.rowStart, p.cols, p.costs)
+		for _, workers := range []int{2, 4, 8} {
+			got, gotTotal, gotErr := ps.SolveSparse(ctx, workers, p.n, p.m, p.rowStart, p.cols, p.costs)
+			if (wantErr == nil) != (gotErr == nil) || (wantErr != nil && gotErr != wantErr) {
+				t.Fatalf("seed %d workers %d: err=%v, want %v", seed, workers, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if gotTotal != wantTotal {
+				t.Fatalf("seed %d workers %d: total=%v, want %v", seed, workers, gotTotal, wantTotal)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d workers %d: row %d → %d, want %d", seed, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelErrorParity checks the failure modes agree with the sequential
+// solver: global n > m, a deficient component, and a zero-arc row.
+func TestParallelErrorParity(t *testing.T) {
+	ctx := context.Background()
+	var ps ParallelSolver
+	var seq Solver
+
+	// n > m fails identically before any decomposition.
+	if _, _, err := ps.SolveSparse(ctx, 4, 3, 2, []int{0, 1, 2, 3}, []int{0, 1, 0}, []float64{1, 1, 1}); err != errTooManyRows {
+		t.Fatalf("n>m: err=%v, want errTooManyRows", err)
+	}
+
+	// A deficient component (2 rows sharing 1 column) inside a large solvable
+	// instance: both solvers report ErrNoFullMatching.
+	r := rand.New(rand.NewSource(7))
+	p := genComponents(r, 20, 8, 2)
+	if p.n < minParallelRows {
+		t.Fatalf("generator produced only %d rows", p.n)
+	}
+	// Append two rows competing for one fresh column.
+	for k := 0; k < 2; k++ {
+		p.cols = append(p.cols, p.m)
+		p.costs = append(p.costs, 1)
+		p.rowStart = append(p.rowStart, len(p.cols))
+	}
+	p.n += 2
+	p.m += 2 // one extra unused column keeps n <= m
+	if _, _, err := seq.SolveSparse(p.n, p.m, p.rowStart, p.cols, p.costs); err != ErrNoFullMatching {
+		t.Fatalf("sequential deficient: err=%v, want ErrNoFullMatching", err)
+	}
+	if _, _, err := ps.SolveSparse(ctx, 4, p.n, p.m, p.rowStart, p.cols, p.costs); err != ErrNoFullMatching {
+		t.Fatalf("parallel deficient: err=%v, want ErrNoFullMatching", err)
+	}
+
+	// A zero-arc row is its own column-less component.
+	p2 := genComponents(rand.New(rand.NewSource(9)), 20, 8, 2)
+	p2.rowStart = append(p2.rowStart, len(p2.cols))
+	p2.n++
+	p2.m++
+	if _, _, err := seq.SolveSparse(p2.n, p2.m, p2.rowStart, p2.cols, p2.costs); err != ErrNoFullMatching {
+		t.Fatalf("sequential zero-arc: err=%v, want ErrNoFullMatching", err)
+	}
+	if _, _, err := ps.SolveSparse(ctx, 4, p2.n, p2.m, p2.rowStart, p2.cols, p2.costs); err != ErrNoFullMatching {
+		t.Fatalf("parallel zero-arc: err=%v, want ErrNoFullMatching", err)
+	}
+}
+
+// TestParallelCancel checks a pre-canceled context aborts a parallel solve.
+func TestParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ps ParallelSolver
+	p := genComponents(rand.New(rand.NewSource(3)), 20, 8, 2)
+	if _, _, err := ps.SolveSparse(ctx, 4, p.n, p.m, p.rowStart, p.cols, p.costs); err != context.Canceled {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+// TestParallelReuse exercises scratch reuse across differently-shaped solves
+// on one ParallelSolver value.
+func TestParallelReuse(t *testing.T) {
+	ctx := context.Background()
+	var ps ParallelSolver
+	var seq Solver
+	for seed := int64(100); seed < 110; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := genComponents(r, 8+r.Intn(20), 4+r.Intn(8), 3)
+		want, wantTotal, wantErr := seq.SolveSparse(p.n, p.m, p.rowStart, p.cols, p.costs)
+		got, gotTotal, gotErr := ps.SolveSparse(ctx, 4, p.n, p.m, p.rowStart, p.cols, p.costs)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("seed %d: err=%v, want %v", seed, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if gotTotal != wantTotal {
+			t.Fatalf("seed %d: total=%v, want %v", seed, gotTotal, wantTotal)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: row %d → %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 
 	"zac/internal/arch"
@@ -53,17 +54,23 @@ func sharesQubit(g, h circuit.Gate) bool {
 // solver: the JV solver with its scratch, dense site/trap column indexes
 // (reset through touched lists), the qubit-sized flag arrays that replaced
 // the per-solve reserved/stay/banned maps, and the CSR arc arrays fed to
-// matching.Solver.SolveSparse. BuildPlan keeps two so the reuse and
-// no-reuse candidate transitions can be solved concurrently; a scratch must
-// not be shared between concurrent solves.
+// the sparse JV solves. BuildPlan keeps two so the reuse and no-reuse
+// candidate transitions can be solved concurrently; a scratch must not be
+// shared between concurrent solves.
 type transitionScratch struct {
-	solver matching.Solver
+	// solver decomposes each stage's assignment problem into independent
+	// components and fans them out to at most workers goroutines, checking
+	// ctx between components; both knobs are (re)assigned by BuildPlan
+	// before every solve. Outputs stay bit-identical at any worker count.
+	solver  matching.ParallelSolver
+	ctx     context.Context
+	workers int
 
 	posView []Pos
 
-	reserved []bool // by site ordinal; reset via the sites union list
-	stay     []bool // by qubit; cleared per solve
-	banned   []bool // by qubit; cleared per solveTransition
+	reserved []bool  // by site ordinal; reset via the sites union list
+	stay     []bool  // by qubit; cleared per solve
+	banned   []bool  // by qubit; cleared per solveTransition
 	related  []int32 // by qubit → next-stage partner, -1 = none
 
 	lookahead []int32 // by gate index in cur → partner qubit, -1 = none
@@ -77,9 +84,9 @@ type transitionScratch struct {
 	trapCol []int32 // by trap ordinal → dense column, -1 = unseen
 
 	// flattened per-row candidate lists (CSR layout)
-	cands   []arch.SiteRef
-	candRow []int
-	tcands  []arch.TrapRef
+	cands    []arch.SiteRef
+	candRow  []int
+	tcands   []arch.TrapRef
 	tcandRow []int
 
 	// sparse matching arcs
@@ -105,8 +112,11 @@ type transitionScratch struct {
 }
 
 // newTransitionScratch sizes a scratch for one architecture and qubit count.
+// It starts sequential (workers = 1); BuildPlan assigns the real budget.
 func newTransitionScratch(a *arch.Architecture, numQubits int) *transitionScratch {
 	sc := &transitionScratch{
+		ctx:       context.Background(),
+		workers:   1,
 		reserved:  make([]bool, a.SiteCount()),
 		stay:      make([]bool, numQubits),
 		banned:    make([]bool, numQubits),
@@ -322,7 +332,7 @@ func tryGatePlacement(
 	}
 	sc.rowStart = append(sc.rowStart, len(sc.cols))
 
-	rowTo, total, err := sc.solver.SolveSparse(len(gateIdx), len(sc.sites), sc.rowStart, sc.cols, sc.costs)
+	rowTo, total, err := sc.solver.SolveSparse(sc.ctx, sc.workers, len(gateIdx), len(sc.sites), sc.rowStart, sc.cols, sc.costs)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -442,7 +452,7 @@ func tryReturnPlacement(
 	}
 	sc.rowStart = append(sc.rowStart, len(sc.cols))
 
-	rowTo, total, err := sc.solver.SolveSparse(len(qubits), len(sc.traps), sc.rowStart, sc.cols, sc.costs)
+	rowTo, total, err := sc.solver.SolveSparse(sc.ctx, sc.workers, len(qubits), len(sc.traps), sc.rowStart, sc.cols, sc.costs)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -61,8 +61,8 @@ type saState struct {
 	pts    []geom.Point   // cached physical positions per qubit
 	near   []arch.SiteRef // cached NearestSite per qubit (trap-ordinal table)
 	// free traps for jump moves
-	free []arch.TrapRef
-	occ  []int     // trap ordinal → qubit (-1 = empty)
+	free    []arch.TrapRef
+	occ     []int     // trap ordinal → qubit (-1 = empty)
 	gatesOf [][]int32 // qubit → indices into gates
 	costs   []float64 // cached weighted contribution per gate
 }
@@ -174,13 +174,22 @@ func (s *saState) ProposeDelta(r *rand.Rand) (float64, func()) {
 // reference architecture qubits occupy the storage rows nearest to the
 // entanglement zone.
 func SAInitial(a *arch.Architecture, staged *circuit.Staged, iterations int, r *rand.Rand) ([]arch.TrapRef, error) {
+	traps, _, err := SAInitialWithCost(a, staged, iterations, r)
+	return traps, err
+}
+
+// SAInitialWithCost is SAInitial plus the annealed best cost, so concurrent
+// restart chains (Options.SARestarts) can be compared by (cost, restart
+// index) without recomputing the Eq. 2 objective. The degenerate cases (no
+// 2Q gates, or a non-positive iteration budget) report cost 0.
+func SAInitialWithCost(a *arch.Architecture, staged *circuit.Staged, iterations int, r *rand.Rand) ([]arch.TrapRef, float64, error) {
 	base, err := TrivialInitial(a, staged.NumQubits)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	gates := collectWeightedGates(staged)
 	if len(gates) == 0 || iterations <= 0 {
-		return base, nil
+		return base, 0, nil
 	}
 
 	// Candidate pool: the traps of the trivial placement plus the next rows
@@ -219,6 +228,6 @@ func SAInitial(a *arch.Architecture, staged *circuit.Staged, iterations int, r *
 			st.gatesOf[g.q2] = append(st.gatesOf[g.q2], int32(gi))
 		}
 	}
-	anneal.Run(st, anneal.Options{Iterations: iterations}, r)
-	return st.trapOf, nil
+	res := anneal.Run(st, anneal.Options{Iterations: iterations}, r)
+	return st.trapOf, res.BestCost, nil
 }

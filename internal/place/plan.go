@@ -34,6 +34,18 @@ type Options struct {
 	KNeighbors    int     // k for return candidates (default 2)
 	Alpha         float64 // lookahead weight α (default 0.1, Eq. 3)
 	Seed          int64
+	// SARestarts runs this many independent annealing chains for the initial
+	// placement, chain i seeded with Seed+i, keeping the (cost, restart
+	// index)-minimal result. The chains run concurrently under Workers, but
+	// the winner is scheduling-independent; the default 1 reproduces the
+	// single-chain bytes exactly. Unlike Workers, SARestarts changes the
+	// produced plan, so it participates in plan identity.
+	SARestarts int
+	// Workers bounds the goroutines one BuildPlan may use across restart
+	// chains and the per-stage parallel JV solves; non-positive selects all
+	// cores. Workers only changes how fast a plan is computed, never its
+	// bytes, so Canonical() strips it from plan identity.
+	Workers int
 }
 
 // Default returns the full ZAC configuration.
@@ -55,6 +67,21 @@ func (o *Options) fill() {
 	if o.Alpha == 0 {
 		o.Alpha = 0.1
 	}
+	if o.SARestarts <= 0 {
+		o.SARestarts = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = engine.Workers(0)
+	}
+}
+
+// Canonical returns the options in the form cache keys must use: defaults
+// filled, and the execution-only Workers knob zeroed. Two Options with equal
+// Canonical() values produce byte-identical plans.
+func (o Options) Canonical() Options {
+	o.fill()
+	o.Workers = 0
+	return o
 }
 
 // Step is the placement outcome for one Rydberg stage: the gate→site
@@ -145,8 +172,12 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 	var err error
 	if opts.UseSA {
 		cov.Hit("place:init:sa")
-		r := rand.New(rand.NewSource(opts.Seed))
-		initial, err = SAInitial(a, staged, opts.SAIterations, r)
+		if opts.SARestarts <= 1 {
+			r := rand.New(rand.NewSource(opts.Seed))
+			initial, err = SAInitial(a, staged, opts.SAIterations, r)
+		} else {
+			initial, err = saRestarts(ctx, a, staged, opts, cov)
+		}
 	} else {
 		cov.Hit("place:init:trivial")
 		initial, err = TrivialInitial(a, staged.NumQubits)
@@ -164,6 +195,13 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 	}
 	pl.scratch[0] = newTransitionScratch(a, staged.NumQubits)
 	pl.scratch[1] = newTransitionScratch(a, staged.NumQubits)
+	pl.scratch[0].ctx, pl.scratch[1].ctx = ctx, ctx
+	// When the reuse/no-reuse candidates race 2-way, each side gets half the
+	// intra-solve budget so the total stays within opts.Workers.
+	half := opts.Workers / 2
+	if half < 1 {
+		half = 1
+	}
 	for q, t := range initial {
 		pl.pos[q] = StoragePos(t)
 		pl.occ[a.TrapOrdinal(t)] = q
@@ -194,6 +232,7 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 			// error is authoritative, and the cheaper candidate wins.
 			var sols [2]transitionSolution
 			var errs [2]error
+			pl.scratch[0].workers, pl.scratch[1].workers = half, half
 			if err := engine.ForEach(ctx, 2, 2, func(i int) error {
 				sols[i], errs[i] = pl.solveTransition(prev, cur, next, i == 0, pl.scratch[i])
 				return nil
@@ -212,6 +251,7 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 			}
 		} else {
 			cov.Hit("place:transition:plain")
+			pl.scratch[0].workers = opts.Workers
 			sol, err = pl.solveTransition(prev, cur, next, false, pl.scratch[0])
 			if err != nil {
 				return nil, err
@@ -232,6 +272,7 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 	if len(plan.Steps) > 0 {
 		cov.Hit("place:final-returns")
 		last := &plan.Steps[len(plan.Steps)-1]
+		pl.scratch[0].workers = opts.Workers
 		sol, err := pl.solveReturns(last, nil, nil, pl.scratch[0])
 		if err != nil {
 			return nil, err
@@ -240,6 +281,36 @@ func BuildPlan(ctx context.Context, a *arch.Architecture, staged *circuit.Staged
 		last.MovesOut = sol
 	}
 	return plan, nil
+}
+
+// saChain is one restart chain's outcome.
+type saChain struct {
+	traps []arch.TrapRef
+	cost  float64
+}
+
+// saRestarts runs Options.SARestarts independent annealing chains on at most
+// Options.Workers goroutines and returns the winner. Chain i is seeded with
+// Seed+i, results are assembled by chain index, and the winner minimizes
+// (best cost, chain index), so the outcome is independent of scheduling and
+// machine — chain 0 is bit-identical to the single-chain SAInitial run.
+func saRestarts(ctx context.Context, a *arch.Architecture, staged *circuit.Staged, opts Options, cov *cover.Set) ([]arch.TrapRef, error) {
+	cov.Hit("place:init:sa-restarts")
+	chains, err := engine.Map(ctx, opts.Workers, opts.SARestarts, func(i int) (saChain, error) {
+		r := rand.New(rand.NewSource(opts.Seed + int64(i)))
+		traps, cost, err := SAInitialWithCost(a, staged, opts.SAIterations, r)
+		return saChain{traps: traps, cost: cost}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	for i := 1; i < len(chains); i++ {
+		if chains[i].cost < chains[best].cost {
+			best = i
+		}
+	}
+	return chains[best].traps, nil
 }
 
 // transitionSolution is one candidate outcome of a stage transition.

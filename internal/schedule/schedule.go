@@ -24,12 +24,25 @@ import (
 
 	"zac/internal/arch"
 	"zac/internal/circuit"
+	"zac/internal/engine"
 	"zac/internal/fidelity"
 	"zac/internal/geom"
 	"zac/internal/graphalgo"
 	"zac/internal/place"
 	"zac/internal/zair"
 )
+
+// Options tunes how a schedule is computed, never what it contains: any
+// Options value produces byte-identical programs.
+type Options struct {
+	// Workers bounds the goroutines used to build the movement conflict
+	// graphs; non-positive selects all cores.
+	Workers int
+}
+
+// minParallelMoves is the movement-phase size below which the conflict graph
+// is built sequentially: tiny phases cost less than the fan-out.
+const minParallelMoves = 64
 
 // Result is a fully scheduled program plus the statistics the fidelity
 // model consumes.
@@ -39,22 +52,28 @@ type Result struct {
 	NumJobs int
 }
 
-// Build schedules the plan into a timed ZAIR program. The context is
-// checked between stages, so a cancelled compilation stops mid-schedule;
-// cancellation never alters the produced program, only whether one is
-// produced.
+// Build schedules the plan into a timed ZAIR program with the default
+// Options. The context is checked between stages, so a cancelled compilation
+// stops mid-schedule; cancellation never alters the produced program, only
+// whether one is produced.
 func Build(ctx context.Context, a *arch.Architecture, staged *circuit.Staged, plan *place.Plan) (*Result, error) {
+	return BuildWithOptions(ctx, a, staged, plan, Options{})
+}
+
+// BuildWithOptions is Build with an explicit worker budget.
+func BuildWithOptions(ctx context.Context, a *arch.Architecture, staged *circuit.Staged, plan *place.Plan, opts Options) (*Result, error) {
 	if len(a.AODs) == 0 {
 		return nil, fmt.Errorf("schedule: architecture has no AODs")
 	}
-	s := &scheduler{a: a, staged: staged, plan: plan}
+	s := &scheduler{a: a, staged: staged, plan: plan, workers: engine.Workers(opts.Workers)}
 	return s.run(ctx)
 }
 
 type scheduler struct {
-	a      *arch.Architecture
-	staged *circuit.Staged
-	plan   *place.Plan
+	a       *arch.Architecture
+	staged  *circuit.Staged
+	plan    *place.Plan
+	workers int
 
 	prog  zair.Program
 	stats fidelity.Stats
@@ -91,11 +110,11 @@ func (s *scheduler) run(ctx context.Context) (*Result, error) {
 			if step.StageIdx != si {
 				return nil, fmt.Errorf("schedule: plan step %d maps to stage %d, expected %d", stepIdx, step.StageIdx, si)
 			}
-			if err := s.emitMovePhase(step.MovesIn); err != nil {
+			if err := s.emitMovePhase(ctx, step.MovesIn); err != nil {
 				return nil, err
 			}
 			s.emitRydberg(step)
-			if err := s.emitMovePhase(step.MovesOut); err != nil {
+			if err := s.emitMovePhase(ctx, step.MovesOut); err != nil {
 				return nil, err
 			}
 			stepIdx++
@@ -111,17 +130,44 @@ func (s *scheduler) run(ctx context.Context) (*Result, error) {
 // conservative timing model.
 func (s *scheduler) emitOneQStage(st circuit.Stage) {
 	type key [3]float64
-	groups := map[key][]int{}
-	var orderKeys []key
-	for _, g := range st.Gates {
-		k := key{g.Params[0], g.Params[1], g.Params[2]}
-		if _, ok := groups[k]; !ok {
-			orderKeys = append(orderKeys, k)
-		}
-		groups[k] = append(groups[k], g.Qubits[0])
+	n := len(st.Gates)
+	if n == 0 {
+		return
 	}
-	for _, k := range orderKeys {
-		qubits := groups[k]
+	// Group gates by unitary without per-group slice growth: count members
+	// per distinct unitary (first-appearance order), then partition one
+	// shared backing array by group offsets. Gate order within a group is
+	// unchanged, so the emitted instructions are byte-identical to the old
+	// append-per-gate construction.
+	ord := make(map[key]int, n)
+	var orderKeys []key
+	var counts []int
+	gidx := make([]int, n) // gate → group ordinal
+	for gi, g := range st.Gates {
+		k := key{g.Params[0], g.Params[1], g.Params[2]}
+		o, ok := ord[k]
+		if !ok {
+			o = len(orderKeys)
+			ord[k] = o
+			orderKeys = append(orderKeys, k)
+			counts = append(counts, 0)
+		}
+		counts[o]++
+		gidx[gi] = o
+	}
+	offsets := make([]int, len(counts)+1)
+	for o, c := range counts {
+		offsets[o+1] = offsets[o] + c
+	}
+	members := make([]int, n)
+	fill := append([]int(nil), offsets[:len(counts)]...)
+	for gi, g := range st.Gates {
+		o := gidx[gi]
+		members[fill[o]] = g.Qubits[0]
+		fill[o]++
+	}
+	for o, k := range orderKeys {
+		qubits := members[offsets[o]:offsets[o+1]]
 		begin := s.clock
 		end := begin + s.a.Times.OneQGate*float64(len(qubits))
 		inst := zair.OneQGate{
@@ -168,7 +214,7 @@ func (s *scheduler) emitRydberg(step *place.Step) {
 // emitMovePhase groups the phase's movements into AOD-compatible
 // rearrangement jobs, load-balances them across AODs (longest job first to
 // the earliest-available AOD), and advances the clock to the phase makespan.
-func (s *scheduler) emitMovePhase(moves []place.Move) error {
+func (s *scheduler) emitMovePhase(ctx context.Context, moves []place.Move) error {
 	if len(moves) == 0 {
 		return nil
 	}
@@ -180,7 +226,10 @@ func (s *scheduler) emitMovePhase(moves []place.Move) error {
 			to:   m.To.Point(s.a),
 		}
 	}
-	groups := groupCompatible(specs)
+	groups, gerr := groupCompatible(ctx, s.workers, specs)
+	if gerr != nil {
+		return gerr
+	}
 	err := s.emitJobsForGroups(specs, groups)
 	if err == errCyclicJobs {
 		// Bundling created a job-level dependency cycle even though the
@@ -352,10 +401,41 @@ func axisCompatible(a0, b0, a1, b1 float64) bool {
 
 // groupCompatible partitions movement indices into groups of pairwise
 // compatible movements using repeated maximal independent sets over the
-// conflict graph (paper §VI, following Enola's O(n² log n) approach).
-func groupCompatible(specs []moveSpec) [][]int {
+// conflict graph (paper §VI, following Enola's O(n² log n) approach). On
+// wide phases the O(n²) adjacency build fans the upper-triangle rows out to
+// workers goroutines (row i computes its j > i conflicts independently) and
+// mirrors them sequentially afterwards, reproducing the sequential
+// construction's exact adjacency order — each adj[k] lists the neighbors
+// below k ascending, then those above k ascending — so the independent-set
+// partition (and therefore the program bytes) is unchanged at any worker
+// count.
+func groupCompatible(ctx context.Context, workers int, specs []moveSpec) ([][]int, error) {
 	n := len(specs)
 	adj := make([][]int, n)
+	if workers > 1 && n >= minParallelMoves {
+		upper := make([][]int, n)
+		if err := engine.ForEach(ctx, workers, n, func(i int) error {
+			var row []int
+			for j := i + 1; j < n; j++ {
+				if !compatible(specs[i], specs[j]) {
+					row = append(row, j)
+				}
+			}
+			upper[i] = row
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for _, j := range upper[i] {
+				adj[j] = append(adj[j], i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			adj[i] = append(adj[i], upper[i]...)
+		}
+		return graphalgo.PartitionIntoIndependentSets(n, adj), nil
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if !compatible(specs[i], specs[j]) {
@@ -364,7 +444,7 @@ func groupCompatible(specs []moveSpec) [][]int {
 			}
 		}
 	}
-	return graphalgo.PartitionIntoIndependentSets(n, adj)
+	return graphalgo.PartitionIntoIndependentSets(n, adj), nil
 }
 
 // trapQLoc renders a storage trap as a ZAIR qloc.

@@ -178,7 +178,10 @@ func TestGroupCompatibleCoversAll(t *testing.T) {
 		{from: geom.Point{X: 5, Y: 0}, to: geom.Point{X: 2, Y: 10}},  // crosses 0
 		{from: geom.Point{X: 9, Y: 0}, to: geom.Point{X: 20, Y: 10}}, // compatible with 0
 	}
-	groups := groupCompatible(specs)
+	groups, err := groupCompatible(context.Background(), 1, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := 0
 	for _, g := range groups {
 		total += len(g)

@@ -40,6 +40,19 @@ type CompileRequest struct {
 	Compiler string `json:"compiler,omitempty"`
 	// AODs overrides the architecture's AOD count when positive.
 	AODs int `json:"aods,omitempty"`
+	// SARestarts, when > 1, runs that many independent annealing chains for
+	// ZAC-family initial placement and keeps the best (deterministic
+	// winner; see place.Options.SARestarts). It changes the compiled
+	// output, so it joins the compile cache key. Negative values are
+	// rejected with 400; 0 and 1 select the single-chain default.
+	SARestarts int `json:"sa_restarts,omitempty"`
+	// Workers, when positive, bounds this compilation's intra-compile
+	// parallelism (clamped to the machine's cores). It never changes the
+	// compiled bytes and stays out of every cache key; 0 selects the
+	// service default — an equal share of the cores per compile slot, so a
+	// saturated server does not oversubscribe. Negative values are rejected
+	// with 400.
+	Workers int `json:"workers,omitempty"`
 	// TimeoutMS, when positive, bounds this request's total time in the
 	// service — queueing included — in milliseconds. A request that misses
 	// its deadline fails with a timeout error (HTTP 504 for a single

@@ -394,8 +394,20 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 	if err != nil {
 		return nil, err
 	}
+	if req.SARestarts < 0 {
+		return nil, fmt.Errorf("sa_restarts must be non-negative, got %d", req.SARestarts)
+	}
+	if req.Workers < 0 {
+		return nil, fmt.Errorf("workers must be non-negative, got %d", req.Workers)
+	}
 
 	key := "serve|" + c.Name() + "|" + circKey + "|arch=" + a.Fingerprint()
+	// SARestarts > 1 changes the compiled bytes, so it joins the key; the
+	// default leaves the key (and any persisted disk entries) untouched.
+	// Workers never joins the key — it only changes compile speed.
+	if req.SARestarts > 1 {
+		key += fmt.Sprintf("|sar=%d", req.SARestarts)
+	}
 	computed := false
 	// DoCtx gives the computation a context cancelled only when every
 	// request sharing it has disconnected, so one client abandoning a
@@ -417,7 +429,12 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 			return nil, err
 		}
 		t0 := time.Now()
-		r, err := c.Compile(ctx, staged, a, compiler.Options{Key: circKey, Artifacts: s.artifacts})
+		r, err := c.Compile(ctx, staged, a, compiler.Options{
+			Key:        circKey,
+			Artifacts:  s.artifacts,
+			SARestarts: req.SARestarts,
+			Workers:    s.compileWorkers(req.Workers),
+		})
 		if err == nil {
 			s.recordLatency(c.Name(), time.Since(t0))
 			s.recordPasses(c.Name(), r.Passes)
@@ -454,6 +471,27 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 		out.ZAIR = raw
 	}
 	return out, nil
+}
+
+// compileWorkers resolves one compilation's intra-compile worker budget from
+// the request value (already validated non-negative). The default gives each
+// admission slot an equal share of the cores, so compile slots ×
+// per-compile workers ≈ NumCPU and a saturated server never oversubscribes;
+// an explicit request value is honored but clamped to the machine. The
+// budget never changes compiled bytes, only speed.
+func (s *Server) compileWorkers(requested int) int {
+	cores := engine.Workers(0)
+	if requested > 0 {
+		if requested > cores {
+			return cores
+		}
+		return requested
+	}
+	w := cores / cap(s.sem)
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // admit acquires a compile slot through the bounded admission queue: a free

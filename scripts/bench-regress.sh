@@ -67,8 +67,12 @@ BASELINE="${1:-BENCH_3.json}"
 BENCHTIME="${BENCHTIME:-20x}"
 OUT="${BENCH_OUT:-BENCH_4.json}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-20}"
-PATTERN='BenchmarkJVDense|BenchmarkJVSparse|BenchmarkSAInitial|BenchmarkBuildPlan'
-PKGS="./internal/matching ./internal/place"
+# BenchmarkBuildPlanSched carries the multi-core scaling cells (gmp1/gmp8);
+# PATTERN/PKGS are overridable for targeted runs. The threshold gate only
+# checks names present in the baseline, so cells newer than BENCH_3.json are
+# recorded but not gated on the fallback path.
+PATTERN="${PATTERN:-BenchmarkJVDense|BenchmarkJVSparse|BenchmarkSAInitial|BenchmarkBuildPlan|BenchmarkBuildPlanSched}"
+PKGS="${PKGS:-./internal/matching ./internal/place ./internal/schedule}"
 
 if [ ! -f "$BASELINE" ]; then
   echo "bench-regress: baseline $BASELINE not found" >&2
