@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase benchsuite benchsuite-smoke benchsuite-report fuzz-smoke fuzz-diff fuzz-diff-smoke serve-smoke chaos-smoke
+.PHONY: check vet doclint build test race bench bench-micro bench-compare bench-regress bench-regress-rebase benchsuite benchsuite-smoke benchsuite-report fuzz-smoke fuzz-diff fuzz-diff-smoke serve-smoke telemetry-smoke chaos-smoke
 
 check: vet doclint build race
 
@@ -92,6 +92,13 @@ fuzz-diff:
 # circuit, and check /metrics — the same smoke CI runs.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Telemetry gate: boot zac-serve with tracing + JSON logs, compile once,
+# assert the trace covers admission, both cache tiers, and every pipeline
+# pass, and that the Chrome trace_event export (live and -traceout) is
+# valid JSON.
+telemetry-smoke:
+	./scripts/telemetry-smoke.sh
 
 # Resilience gate: the pinned-seed fault-injection suites (admission
 # shedding, deadline mapping, journal replay, disk breaker trip/recovery,

@@ -5,14 +5,23 @@
 // the engine's tiered cache; with -cachedir they persist to disk and are
 // shared with zac-bench and zairsim runs pointed at the same directory.
 //
+// Every compile records a telemetry trace (bounded ring, -traces entries;
+// -traces 0 disables): the response carries a trace_id, GET /v1/traces
+// lists recent traces, GET /v1/traces/{id} shows one span tree, and
+// ?format=chrome (or -traceout FILE at shutdown) exports Chrome trace_event
+// JSON loadable in Perfetto. Logs are structured (log/slog); -logjson
+// switches them to JSON.
+//
 // With -pprof the standard net/http/pprof endpoints are mounted under
 // /debug/pprof/ so a live service can be CPU- or heap-profiled under load.
 //
 //	zac-serve -addr :8756 -cachedir ~/.cache/zac
-//	zac-serve -addr :8756 -pprof
+//	zac-serve -addr :8756 -pprof -logjson
 //	curl -s localhost:8756/healthz
 //	curl -s -X POST localhost:8756/v1/compile -d '{"circuit":"ghz_n23"}'
-//	curl -s localhost:8756/metrics
+//	curl -s localhost:8756/metrics               # JSON
+//	curl -s localhost:8756/metrics?format=prom   # Prometheus text format
+//	curl -s localhost:8756/v1/traces
 //
 // See README.md for the full API reference.
 package main
@@ -20,7 +29,7 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -31,6 +40,7 @@ import (
 
 	"zac/internal/engine"
 	"zac/internal/serve"
+	"zac/internal/telemetry"
 )
 
 func main() {
@@ -42,19 +52,36 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 64, "max requests per batch")
 	queueDepth := flag.Int("queuedepth", 0, "compile admission queue bound; requests beyond it are shed with 429 (0 = default)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile live compilations)")
+	traces := flag.Int("traces", telemetry.DefaultCapacity, "telemetry trace ring capacity (0 disables request tracing)")
+	traceOut := flag.String("traceout", "", "write retained traces as Chrome trace_event JSON to this file at shutdown")
+	logJSON := flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
-	opts := serve.Options{Parallel: *parallel, MemEntries: *memEntries, MaxBatch: *maxBatch, QueueDepth: *queueDepth}
+	var handlerOpts slog.HandlerOptions
+	var logHandler slog.Handler = slog.NewTextHandler(os.Stderr, &handlerOpts)
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, &handlerOpts)
+	}
+	logger := slog.New(logHandler)
+
+	var recorder *telemetry.Recorder
+	if *traces > 0 {
+		recorder = telemetry.NewRecorder(*traces)
+	}
+
+	opts := serve.Options{
+		Parallel: *parallel, MemEntries: *memEntries, MaxBatch: *maxBatch,
+		QueueDepth: *queueDepth, Telemetry: recorder, Logger: logger,
+	}
 	if *cacheDir != "" {
 		disk, err := engine.OpenDiskCache(*cacheDir, *cacheMB<<20)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "zac-serve: -cachedir: %v\n", err)
+			logger.Error("opening disk cache", "dir", *cacheDir, "err", err)
 			os.Exit(1)
 		}
 		opts.Disk = disk
 		st := disk.Stats()
-		fmt.Fprintf(os.Stderr, "zac-serve: disk cache %s: %d entries, %d bytes\n",
-			disk.Dir(), st.Entries, st.Bytes)
+		logger.Info("disk cache attached", "dir", disk.Dir(), "entries", st.Entries, "bytes", st.Bytes)
 	}
 
 	srv := serve.New(opts)
@@ -64,11 +91,11 @@ func main() {
 		// the listener accepts traffic.
 		replayed, err := srv.OpenJournal(filepath.Join(*cacheDir, "jobs"))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "zac-serve: job journal: %v\n", err)
+			logger.Error("opening job journal", "err", err)
 			os.Exit(1)
 		}
 		if replayed > 0 {
-			fmt.Fprintf(os.Stderr, "zac-serve: replaying %d journaled job(s)\n", replayed)
+			logger.Info("replaying journaled jobs", "jobs", replayed)
 		}
 	}
 	handler := srv.Handler()
@@ -84,7 +111,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		fmt.Fprintln(os.Stderr, "zac-serve: pprof enabled at /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -100,11 +127,11 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "zac-serve: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "tracing", recorder != nil)
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "zac-serve: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
@@ -117,11 +144,30 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "zac-serve: shutdown: %v\n", err)
+		logger.Error("shutdown", "err", err)
 	}
-	if err := srv.Drain(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "zac-serve: drain deadline: unfinished jobs remain journaled for replay")
+	drainErr := srv.Drain(shutdownCtx)
+	writeTraceOut(logger, recorder, *traceOut)
+	if drainErr != nil {
+		logger.Warn("drain deadline: unfinished jobs remain journaled for replay")
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "zac-serve: drained, bye")
+	logger.Info("drained, bye")
+}
+
+// writeTraceOut dumps the recorder's retained traces as Chrome trace_event
+// JSON — the whole process's request history on one Perfetto timeline.
+func writeTraceOut(logger *slog.Logger, recorder *telemetry.Recorder, path string) {
+	if path == "" || recorder == nil {
+		return
+	}
+	data, err := telemetry.ChromeTrace(recorder.Dump())
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		logger.Error("writing trace export", "path", path, "err", err)
+		return
+	}
+	logger.Info("trace export written", "path", path, "traces", recorder.Len())
 }

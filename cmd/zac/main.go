@@ -28,6 +28,7 @@ import (
 	"zac/internal/core"
 	"zac/internal/qasm"
 	"zac/internal/resynth"
+	"zac/internal/telemetry"
 	"zac/internal/trace"
 	"zac/internal/workload"
 )
@@ -48,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-compile parallelism budget (0 = all cores; zac family)")
 	out := flag.String("out", "", "write the ZAIR program JSON to this file")
 	showTrace := flag.Bool("trace", false, "print the program timeline and AOD Gantt chart")
+	showTelemetry := flag.Bool("telemetry", false, "print the compile's telemetry span tree (per-pass and kernel timings)")
 	flag.Parse()
 
 	// Malformed parallelism knobs exit 1 up front instead of silently
@@ -123,7 +125,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// With -telemetry the compile runs under a span trace (the same
+	// instrumentation zac-serve records per request) and the tree is
+	// printed after the report.
+	var recorder *telemetry.Recorder
+	var rootSpan *telemetry.Span
+	if *showTelemetry {
+		recorder = telemetry.NewRecorder(1)
+		ctx, rootSpan = recorder.StartTrace(ctx, "zac.compile")
+	}
 	res, err := comp.Compile(ctx, staged, a, compiler.Options{SARestarts: *saRestarts, Workers: *workers})
+	rootSpan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -148,6 +160,13 @@ func main() {
 	fmt.Printf("fidelity:         total %.4f\n", b.Total)
 	fmt.Printf("  1Q %.4f | 2Q %.4f | excitation %.4f | transfer %.4f | decoherence %.4f\n",
 		b.OneQ, b.TwoQ, b.Excite, b.Transfer, b.Decohere)
+
+	if *showTelemetry {
+		if td, ok := recorder.Get(rootSpan.TraceID()); ok {
+			fmt.Println()
+			fmt.Print(telemetry.TreeString(td))
+		}
+	}
 
 	if *showTrace {
 		fmt.Println()

@@ -22,6 +22,7 @@ import (
 	"zac/internal/bench"
 	"zac/internal/circuit"
 	"zac/internal/compiler"
+	"zac/internal/core"
 	"zac/internal/matching"
 	"zac/internal/place"
 	"zac/internal/resynth"
@@ -33,10 +34,13 @@ import (
 // application-level compilation.
 type Kind string
 
-// The two case kinds of the matrix.
+// The case kinds of the matrix. KindPass records are never declared as
+// cases: the runner derives them from a compile cell's pass probe, one
+// "<case>/pass/<name>" record per pipeline pass.
 const (
 	KindMicro   Kind = "micro"
 	KindCompile Kind = "compile"
+	KindPass    Kind = "pass"
 )
 
 // Case is one cell of the run matrix: a named operation the runner times
@@ -65,6 +69,11 @@ type Case struct {
 	// setup builds the case's op closure; called once per run, outside
 	// the timed region.
 	setup func() (func(ctx context.Context) error, error)
+	// passes, when non-nil, reports the per-pass timings of the most recent
+	// op invocation. The runner samples it after every timed repetition and
+	// emits one satellite "<case>/pass/<name>" record per pass, so the gate
+	// can name the pass behind a compile-level regression.
+	passes func() []core.PassTiming
 }
 
 // Micro returns the low-level kernel cases: the PR-3 placement hot path
@@ -250,11 +259,17 @@ func Compile(specs, compilers, archs []string) ([]Case, error) {
 					continue // monolithic compilers ignore forced targets
 				}
 				comp, parsed, canon, archName, target := comp, parsed, canon, archName, target
+				// lastPasses carries the most recent compilation's per-pass
+				// timings from the op closure to the pass probe; each cell
+				// owns its own variable and the runner calls op and probe
+				// from one goroutine, so no synchronization is needed.
+				var lastPasses []core.PassTiming
 				cases = append(cases, Case{
 					Name:       fmt.Sprintf("compile/%s/%s/%s", comp.Name(), archName, canon),
 					Kind:       KindCompile,
 					ArchFP:     target.Fingerprint(),
 					InnerIters: 1,
+					passes:     func() []core.PassTiming { return lastPasses },
 					setup: func() (func(context.Context) error, error) {
 						c, err := parsed.Generate()
 						if err != nil {
@@ -271,7 +286,10 @@ func Compile(specs, compilers, archs []string) ([]Case, error) {
 							return nil, fmt.Errorf("%s: split staging invalid: %w", canon, err)
 						}
 						return func(ctx context.Context) error {
-							_, err := comp.Compile(ctx, staged, target, compiler.Options{})
+							r, err := comp.Compile(ctx, staged, target, compiler.Options{})
+							if r != nil {
+								lastPasses = r.Passes
+							}
 							return err
 						}, nil
 					},

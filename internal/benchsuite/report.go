@@ -41,6 +41,12 @@ type reportRow struct {
 	DeltaPct  float64 // vs previous commit's median; NaN-free: 0 when no previous
 	HasPrev   bool
 	TrendText string // "104.0 → 101.2 → 98.7" medians, oldest first
+	// BOp and AllocsOp are the latest commit's median B/op and allocs/op;
+	// HasAlloc is false for cases whose records predate schema 2 (or pass
+	// records, which carry no allocation vectors).
+	BOp      float64
+	AllocsOp float64
+	HasAlloc bool
 }
 
 // reportMachine is one machine's section.
@@ -97,6 +103,11 @@ func buildReport(s *Store, opts ReportOptions) ([]reportMachine, error) {
 			if ci, err := stats.MedianCI(last.Samples, opts.Confidence); err == nil {
 				row.CI = ci
 			}
+			if len(last.BSamples) > 0 {
+				row.BOp = stats.Median(last.BSamples)
+				row.AllocsOp = stats.Median(last.AllocSamples)
+				row.HasAlloc = true
+			}
 			if len(trend) > 1 {
 				prev := trend[len(trend)-2].Summary.Median
 				if prev > 0 {
@@ -140,6 +151,14 @@ func (r reportRow) ciCell() string {
 	return fmt.Sprintf("[%.1f, %.1f] @%.0f%%", r.CI.Lo, r.CI.Hi, r.CI.Confidence*100)
 }
 
+// allocCell renders the allocation column ("B/op / allocs/op" medians).
+func (r reportRow) allocCell() string {
+	if !r.HasAlloc {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f B / %.1f", r.BOp, r.AllocsOp)
+}
+
 // MarkdownReport renders the store as a markdown document: one section per
 // machine, one table row per case with the latest median, its CI, the delta
 // against the previous commit, and the per-commit median trend. The output
@@ -159,11 +178,11 @@ func MarkdownReport(s *Store, opts ReportOptions) (string, error) {
 	for _, m := range machines {
 		fmt.Fprintf(&b, "\n## Machine `%s`\n\n", m.ID)
 		fmt.Fprintf(&b, "%s\n\n", m.Fingerprint.String())
-		fmt.Fprintf(&b, "| case | commit | reps | median ns/op | median CI | vs prev | trend (≤%d commits) |\n", opts.LastN)
-		b.WriteString("|---|---|---:|---:|---|---:|---|\n")
+		fmt.Fprintf(&b, "| case | commit | reps | median ns/op | median CI | alloc/op | vs prev | trend (≤%d commits) |\n", opts.LastN)
+		b.WriteString("|---|---|---:|---:|---|---:|---:|---|\n")
 		for _, r := range m.Rows {
-			fmt.Fprintf(&b, "| `%s` | `%s` | %d | %.1f | %s | %s | %s |\n",
-				r.Case, shortCommit(r.Commit), r.Reps, r.Median, r.ciCell(), r.deltaCell(), r.TrendText)
+			fmt.Fprintf(&b, "| `%s` | `%s` | %d | %.1f | %s | %s | %s | %s |\n",
+				r.Case, shortCommit(r.Commit), r.Reps, r.Median, r.ciCell(), r.allocCell(), r.deltaCell(), r.TrendText)
 		}
 	}
 	return b.String(), nil
@@ -188,7 +207,7 @@ func HTMLReport(s *Store, opts ReportOptions) (string, error) {
 	for _, m := range machines {
 		fmt.Fprintf(&b, "<h2>Machine <code>%s</code></h2>\n", html.EscapeString(m.ID))
 		fmt.Fprintf(&b, "<p>%s</p>\n", html.EscapeString(m.Fingerprint.String()))
-		fmt.Fprintf(&b, "<table>\n<tr><th>case</th><th>commit</th><th>reps</th><th>median ns/op</th><th>median CI</th><th>vs prev</th><th>trend (≤%d commits)</th></tr>\n", opts.LastN)
+		fmt.Fprintf(&b, "<table>\n<tr><th>case</th><th>commit</th><th>reps</th><th>median ns/op</th><th>median CI</th><th>alloc/op</th><th>vs prev</th><th>trend (≤%d commits)</th></tr>\n", opts.LastN)
 		for _, r := range m.Rows {
 			deltaClass := "num"
 			if r.HasPrev && r.DeltaPct > 0 {
@@ -196,9 +215,9 @@ func HTMLReport(s *Store, opts ReportOptions) (string, error) {
 			} else if r.HasPrev && r.DeltaPct < 0 {
 				deltaClass = "num better"
 			}
-			fmt.Fprintf(&b, "<tr><td><code>%s</code></td><td><code>%s</code></td><td class=\"num\">%d</td><td class=\"num\">%.1f</td><td>%s</td><td class=\"%s\">%s</td><td>%s</td></tr>\n",
+			fmt.Fprintf(&b, "<tr><td><code>%s</code></td><td><code>%s</code></td><td class=\"num\">%d</td><td class=\"num\">%.1f</td><td>%s</td><td class=\"num\">%s</td><td class=\"%s\">%s</td><td>%s</td></tr>\n",
 				html.EscapeString(r.Case), html.EscapeString(shortCommit(r.Commit)), r.Reps, r.Median,
-				html.EscapeString(r.ciCell()), deltaClass, html.EscapeString(r.deltaCell()), html.EscapeString(r.TrendText))
+				html.EscapeString(r.ciCell()), html.EscapeString(r.allocCell()), deltaClass, html.EscapeString(r.deltaCell()), html.EscapeString(r.TrendText))
 		}
 		b.WriteString("</table>\n")
 	}

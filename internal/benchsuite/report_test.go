@@ -22,12 +22,22 @@ func seededStore(t *testing.T) *Store {
 	m1 := func(commit, name string, unix int64, samples ...float64) Record {
 		return rec("m1", commit, name, unix, samples...)
 	}
+	// withAlloc pins fixed allocation vectors on a record, one pair per
+	// ns/op sample, so the report's alloc/op column renders next to rows
+	// without vectors (schema-1 style) showing the em-dash.
+	withAlloc := func(r Record, b, allocs float64) Record {
+		for range r.NsPerOp {
+			r.BPerOp = append(r.BPerOp, b)
+			r.AllocsPerOp = append(r.AllocsPerOp, allocs)
+		}
+		return r
+	}
 	if err := s.Append([]Record{
-		m1("aaaa111122223333", "micro/jv_dense", 1000, 100.0, 101.0, 99.5, 100.5, 100.2),
+		withAlloc(m1("aaaa111122223333", "micro/jv_dense", 1000, 100.0, 101.0, 99.5, 100.5, 100.2), 2048, 3),
 		m1("aaaa111122223333", "micro/sa_initial", 1000, 5000, 5100, 4950, 5050, 5020),
 		m1("bbbb111122223333", "micro/jv_dense", 2000, 98.0, 98.5, 97.9, 98.2, 98.4),
 		m1("bbbb111122223333", "micro/sa_initial", 2000, 5500, 5600, 5450, 5550, 5520),
-		m1("cccc111122223333", "micro/jv_dense", 3000, 97.0, 97.5, 96.9, 97.2, 97.4),
+		withAlloc(m1("cccc111122223333", "micro/jv_dense", 3000, 97.0, 97.5, 96.9, 97.2, 97.4), 1984, 3),
 		m1("cccc111122223333", "micro/sa_initial", 3000, 6000, 6100, 5950, 6050, 6020),
 		rec("m2", "cccc111122223333", "compile/zac/default/rb:n=8,depth=4,seed=1", 3000, 42000, 42100, 41900, 42050, 42010),
 	}); err != nil {

@@ -12,8 +12,11 @@ import (
 
 // SchemaVersion is the record schema stamped into every store line, bumped
 // on incompatible Record changes so old stores stay readable (readers skip
-// newer-versioned lines they do not understand).
-const SchemaVersion = 1
+// newer-versioned lines they do not understand). History: v1 carried ns/op
+// only; v2 added the b_per_op/allocs_per_op allocation vectors and the
+// per-pass timing records (Kind "pass"). v1 lines parse unchanged — the new
+// vectors are simply absent.
+const SchemaVersion = 2
 
 // Record is one matrix cell measured at one commit on one machine: the full
 // per-repetition ns/op sample vector plus everything needed to decide,
@@ -51,6 +54,13 @@ type Record struct {
 	// NsPerOp holds one per-operation nanosecond sample per timed
 	// repetition — the raw material of the Mann-Whitney gate.
 	NsPerOp []float64 `json:"ns_per_op"`
+	// BPerOp and AllocsPerOp hold one per-operation heap-bytes and
+	// heap-allocations sample per timed repetition (runtime.MemStats deltas
+	// around the rep, read outside the timed region). They make allocation
+	// behavior a first-class measured dimension next to wall-clock; absent
+	// on schema-1 records and on pass records.
+	BPerOp      []float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp []float64 `json:"allocs_per_op,omitempty"`
 }
 
 // RunConfig controls one matrix execution.
@@ -101,9 +111,12 @@ func (c RunConfig) normalized() RunConfig {
 	return c
 }
 
-// Run executes every case of the matrix under cfg and returns one Record
-// per case, in matrix order regardless of scheduling (the engine assembles
-// by index). Each record carries the process-wide machine fingerprint and
+// Run executes every case of the matrix under cfg and returns the records
+// in matrix order regardless of scheduling (the engine assembles by index):
+// one primary Record per case, followed — for cases exposing a pass probe —
+// by one "<case>/pass/<name>" Record (Kind "pass") per pipeline pass, so a
+// regression flagged by the gate names the pass that slowed down, not just
+// the compile. Each record carries the process-wide machine fingerprint and
 // cfg's commit stamp.
 func Run(ctx context.Context, cases []Case, cfg RunConfig) ([]Record, error) {
 	cfg = cfg.normalized()
@@ -117,28 +130,36 @@ func Run(ctx context.Context, cases []Case, cfg RunConfig) ([]Record, error) {
 		}
 	}
 	fp := Machine()
-	records, err := engine.Map(ctx, cfg.Workers, len(cases), func(i int) (Record, error) {
-		rec, err := runCase(ctx, cases[i], cfg, fp)
+	perCase, err := engine.Map(ctx, cfg.Workers, len(cases), func(i int) ([]Record, error) {
+		recs, err := runCase(ctx, cases[i], cfg, fp)
 		if err != nil {
-			return Record{}, fmt.Errorf("benchsuite: %s: %w", cases[i].Name, err)
+			return nil, fmt.Errorf("benchsuite: %s: %w", cases[i].Name, err)
 		}
 		if cfg.Progress != nil {
-			cfg.Progress("%-60s %3d reps  median %12.0f ns/op", rec.Case, len(rec.NsPerOp), stats.Median(rec.NsPerOp))
+			cfg.Progress("%-60s %3d reps  median %12.0f ns/op", recs[0].Case, len(recs[0].NsPerOp), stats.Median(recs[0].NsPerOp))
 		}
-		return rec, nil
+		return recs, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var records []Record
+	for _, recs := range perCase {
+		records = append(records, recs...)
 	}
 	return records, nil
 }
 
 // runCase sets up and times one cell: Warmup discarded repetitions, then
-// Reps timed ones of InnerIters operations each.
-func runCase(ctx context.Context, c Case, cfg RunConfig, fp Fingerprint) (Record, error) {
+// Reps timed ones of InnerIters operations each. Around every timed
+// repetition it reads runtime.MemStats (outside the timed region, so the
+// reads never perturb the wall-clock sample) to derive per-op allocation
+// vectors, and — when the case exposes a pass probe — collects the per-pass
+// durations of each repetition into satellite pass records.
+func runCase(ctx context.Context, c Case, cfg RunConfig, fp Fingerprint) ([]Record, error) {
 	op, err := c.setup()
 	if err != nil {
-		return Record{}, err
+		return nil, err
 	}
 	procs := runtime.GOMAXPROCS(0)
 	if c.Procs > 0 && c.Procs != procs {
@@ -152,35 +173,68 @@ func runCase(ctx context.Context, c Case, cfg RunConfig, fp Fingerprint) (Record
 	}
 	for w := 0; w < cfg.Warmup; w++ {
 		if err := opN(ctx, op, inner); err != nil {
-			return Record{}, err
+			return nil, err
 		}
 	}
 	samples := make([]float64, 0, cfg.Reps)
+	bytesPer := make([]float64, 0, cfg.Reps)
+	allocsPer := make([]float64, 0, cfg.Reps)
+	passSamples := map[string][]float64{}
+	var passOrder []string
+	var msBefore, msAfter runtime.MemStats
 	for r := 0; r < cfg.Reps; r++ {
 		if err := ctx.Err(); err != nil {
-			return Record{}, err
+			return nil, err
 		}
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		if err := opN(ctx, op, inner); err != nil {
-			return Record{}, err
+			return nil, err
 		}
 		ns := float64(time.Since(start).Nanoseconds()) / float64(inner)
+		runtime.ReadMemStats(&msAfter)
 		samples = append(samples, ns*cfg.Handicap)
+		// TotalAlloc and Mallocs are monotonic, so concurrent GC cannot make
+		// the deltas go backwards; the handicap multiplier is a timing
+		// self-test knob and deliberately leaves allocation samples honest.
+		bytesPer = append(bytesPer, float64(msAfter.TotalAlloc-msBefore.TotalAlloc)/float64(inner))
+		allocsPer = append(allocsPer, float64(msAfter.Mallocs-msBefore.Mallocs)/float64(inner))
+		if c.passes != nil {
+			// The probe reports the last operation of the repetition — a
+			// per-op sample by construction, no inner division needed.
+			for _, pt := range c.passes() {
+				if _, seen := passSamples[pt.Pass]; !seen {
+					passOrder = append(passOrder, pt.Pass)
+				}
+				passSamples[pt.Pass] = append(passSamples[pt.Pass],
+					float64(pt.Duration.Nanoseconds())*cfg.Handicap)
+			}
+		}
 	}
-	return Record{
-		Schema:     SchemaVersion,
-		Case:       c.Name,
-		Kind:       c.Kind,
-		Commit:     cfg.Commit,
-		UnixTime:   cfg.Now.Unix(),
-		Machine:    fp,
-		MachineID:  fp.ID(),
-		ArchFP:     c.ArchFP,
-		Warmup:     cfg.Warmup,
-		InnerIters: inner,
-		Procs:      procs,
-		NsPerOp:    samples,
-	}, nil
+	stamp := func(name string, kind Kind, ns []float64) Record {
+		return Record{
+			Schema:     SchemaVersion,
+			Case:       name,
+			Kind:       kind,
+			Commit:     cfg.Commit,
+			UnixTime:   cfg.Now.Unix(),
+			Machine:    fp,
+			MachineID:  fp.ID(),
+			ArchFP:     c.ArchFP,
+			Warmup:     cfg.Warmup,
+			InnerIters: inner,
+			Procs:      procs,
+			NsPerOp:    ns,
+		}
+	}
+	primary := stamp(c.Name, c.Kind, samples)
+	primary.BPerOp = bytesPer
+	primary.AllocsPerOp = allocsPer
+	records := []Record{primary}
+	for _, pass := range passOrder {
+		records = append(records, stamp(c.Name+"/pass/"+pass, KindPass, passSamples[pass]))
+	}
+	return records, nil
 }
 
 // opN runs op n times, stopping at the first error.

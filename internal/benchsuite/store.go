@@ -142,6 +142,10 @@ type TrendPoint struct {
 	Summary stats.Summary
 	// Samples is the merged ns/op vector behind Summary.
 	Samples []float64
+	// BSamples and AllocSamples are the merged B/op and allocs/op vectors
+	// (empty when the commit's records predate schema 2 and carry none).
+	BSamples     []float64
+	AllocSamples []float64
 }
 
 // Trend returns the per-commit trajectory of one case on one machine, in
@@ -169,6 +173,8 @@ func (s *Store) Trend(machineID, caseName string, n int) ([]TrendPoint, error) {
 			p.Time = r.UnixTime
 		}
 		p.Samples = append(p.Samples, r.NsPerOp...)
+		p.BSamples = append(p.BSamples, r.BPerOp...)
+		p.AllocSamples = append(p.AllocSamples, r.AllocsPerOp...)
 	}
 	out := make([]TrendPoint, 0, len(order))
 	for _, c := range order {
@@ -277,8 +283,10 @@ func (s *Store) ExportBenchJSON(machineID, commit string) ([]byte, error) {
 		"micro/buildplan_sched/ising_n42/gmp8": "BenchmarkBuildPlanSched/ising_n42/gmp8",
 	}
 	type entry struct {
-		name string
-		ns   float64
+		name      string
+		ns        float64
+		b, allocs float64
+		hasAlloc  bool
 	}
 	var entries []entry
 	commitSHA := records[0].Commit
@@ -287,7 +295,13 @@ func (s *Store) ExportBenchJSON(machineID, commit string) ([]byte, error) {
 		if !ok {
 			continue
 		}
-		entries = append(entries, entry{goName, stats.Median(r.NsPerOp)})
+		e := entry{name: goName, ns: stats.Median(r.NsPerOp)}
+		// Schema-1 records carry no allocation vectors; they export as null,
+		// exactly what a pre-observatory BENCH_N.json held.
+		if len(r.BPerOp) > 0 {
+			e.b, e.allocs, e.hasAlloc = stats.Median(r.BPerOp), stats.Median(r.AllocsPerOp), true
+		}
+		entries = append(entries, e)
 	}
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("benchsuite: no micro records for machine %s at commit %q", machineID, commit)
@@ -303,7 +317,11 @@ func (s *Store) ExportBenchJSON(machineID, commit string) ([]byte, error) {
 		if i > 0 {
 			b.WriteString(",")
 		}
-		fmt.Fprintf(&b, "\n    %q: {\"ns_op\": %g, \"b_op\": null, \"allocs_op\": null}", e.name, e.ns)
+		bOp, allocsOp := "null", "null"
+		if e.hasAlloc {
+			bOp, allocsOp = fmt.Sprintf("%g", e.b), fmt.Sprintf("%g", e.allocs)
+		}
+		fmt.Fprintf(&b, "\n    %q: {\"ns_op\": %g, \"b_op\": %s, \"allocs_op\": %s}", e.name, e.ns, bOp, allocsOp)
 	}
 	fmt.Fprintf(&b, "\n  }\n}\n")
 	return []byte(b.String()), nil

@@ -141,9 +141,12 @@ func TestStoreExportBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	withAllocs := rec("m1", "c9", "micro/jv_dense", 1, 100, 110, 105)
+	withAllocs.BPerOp = []float64{2000, 2100, 2048}
+	withAllocs.AllocsPerOp = []float64{3, 3, 3}
 	if err := s.Append([]Record{
-		rec("m1", "c9", "micro/jv_dense", 1, 100, 110, 105),
-		rec("m1", "c9", "micro/buildplan/qft_n18", 1, 5000, 5100, 5050),
+		withAllocs,
+		rec("m1", "c9", "micro/buildplan/qft_n18", 1, 5000, 5100, 5050), // schema-1 style: no alloc vectors
 		rec("m1", "c9", "compile/zac/default/rb:n=8,depth=4,seed=1", 1, 900), // not exported
 	}); err != nil {
 		t.Fatal(err)
@@ -154,8 +157,8 @@ func TestStoreExportBenchJSON(t *testing.T) {
 	}
 	out := string(data)
 	for _, want := range []string{
-		`"BenchmarkJVDense": {"ns_op": 105`,
-		`"BenchmarkBuildPlan/qft_n18": {"ns_op": 5050`,
+		`"BenchmarkJVDense": {"ns_op": 105, "b_op": 2048, "allocs_op": 3}`,
+		`"BenchmarkBuildPlan/qft_n18": {"ns_op": 5050, "b_op": null, "allocs_op": null}`,
 		`"baseline_sha": "c9"`,
 	} {
 		if !strings.Contains(out, want) {

@@ -44,6 +44,17 @@ func TestRunKernelCases(t *testing.T) {
 		if r.Schema != SchemaVersion || r.InnerIters != cases[i].InnerIters {
 			t.Errorf("%s: schema/inner = %d/%d", r.Case, r.Schema, r.InnerIters)
 		}
+		// Allocation vectors ride along with every wall-clock sample. The JV
+		// kernels allocate (result slices), so the per-op medians are
+		// positive, not merely present.
+		if len(r.BPerOp) != 3 || len(r.AllocsPerOp) != 3 {
+			t.Errorf("%s: alloc vectors = %d/%d samples, want 3/3", r.Case, len(r.BPerOp), len(r.AllocsPerOp))
+		}
+		for i := range r.BPerOp {
+			if r.BPerOp[i] < 0 || r.AllocsPerOp[i] < 0 {
+				t.Errorf("%s: negative alloc sample %v / %v", r.Case, r.BPerOp[i], r.AllocsPerOp[i])
+			}
+		}
 	}
 
 	// The handicap multiplier scales recorded samples (the gate
@@ -153,7 +164,9 @@ func TestRunProcsPinning(t *testing.T) {
 }
 
 // One real compile cell through the runner: the smoke matrix's smallest
-// spec through ZAC, sampled twice.
+// spec through ZAC, sampled twice — the primary compile record followed by
+// one pass record per pipeline pass, each with a full sample vector, so a
+// gate regression can name the pass that caused it.
 func TestRunCompileCase(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compilation case in -short mode")
@@ -166,9 +179,34 @@ func TestRunCompileCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(records) != 1 || records[0].Kind != KindCompile || len(records[0].NsPerOp) != 2 {
+	if len(records) == 0 || records[0].Kind != KindCompile || len(records[0].NsPerOp) != 2 {
 		t.Fatalf("compile record = %+v", records)
 	}
+	wantPasses := []string{"validate", "place", "schedule", "emit", "fidelity"}
+	if len(records) != 1+len(wantPasses) {
+		t.Fatalf("got %d records, want compile + %d pass records: %+v", len(records), len(wantPasses), names2(records))
+	}
+	for i, pass := range wantPasses {
+		r := records[1+i]
+		want := records[0].Case + "/pass/" + pass
+		if r.Case != want || r.Kind != KindPass {
+			t.Errorf("pass record %d = %s (%s), want %s (%s)", i, r.Case, r.Kind, want, KindPass)
+		}
+		if len(r.NsPerOp) != 2 {
+			t.Errorf("%s: %d samples, want 2", r.Case, len(r.NsPerOp))
+		}
+		if len(r.BPerOp) != 0 {
+			t.Errorf("%s: pass records must not carry allocation vectors", r.Case)
+		}
+	}
+}
+
+func names2(records []Record) []string {
+	out := make([]string, len(records))
+	for i, r := range records {
+		out[i] = r.Case
+	}
+	return out
 }
 
 // The full micro matrix names stay pinned — the export mapping and the

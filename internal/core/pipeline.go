@@ -12,6 +12,7 @@ import (
 	"zac/internal/fidelity"
 	"zac/internal/place"
 	"zac/internal/schedule"
+	"zac/internal/telemetry"
 )
 
 // PassTiming records one executed pipeline pass: its name, its wall-clock
@@ -173,7 +174,8 @@ func FidelityPass() Pass {
 // Pass boundaries additionally consult a context-carried fault-injection
 // plan (internal/faultinject) at points "pass.<name>", so the chaos suite
 // can delay or fail compilations at any stage seam; compilations without a
-// plan pay one nil check per pass.
+// plan pay one nil check per pass. When the context carries a telemetry
+// trace (internal/telemetry), each pass records a "pass.<name>" span.
 func (p *Pipeline) Run(ctx context.Context, staged *circuit.Staged, a *arch.Architecture, opts Options, hooks Hooks) (*Result, error) {
 	st := &PassState{Arch: a, Staged: staged, Opts: opts, Hooks: hooks, start: time.Now()}
 	cov := cover.From(ctx)
@@ -187,10 +189,16 @@ func (p *Pipeline) Run(ctx context.Context, staged *circuit.Staged, a *arch.Arch
 			return nil, fmt.Errorf("%s pass: %w", pass.Name, err)
 		}
 		st.cached = false
+		passCtx, span := telemetry.Start(ctx, "pass."+pass.Name)
 		t0 := time.Now()
-		if err := pass.Run(ctx, st); err != nil {
+		if err := pass.Run(passCtx, st); err != nil {
+			span.End()
 			return nil, fmt.Errorf("%s pass: %w", pass.Name, err)
 		}
+		if st.cached {
+			span.Set("cached", "true")
+		}
+		span.End()
 		if cov != nil {
 			cov.Hit("pass:" + pass.Name)
 			if st.cached {

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"zac/internal/telemetry"
 )
 
 // Codec serializes cached values for the disk tier. Entries looked up with a
@@ -62,6 +64,11 @@ type flight struct {
 	ready chan struct{}
 	val   any
 	err   error
+
+	// leaderTrace is the telemetry trace ID of the caller that started the
+	// computation ("" when it carried no trace), so joiners can record which
+	// request's story their wait belongs to.
+	leaderTrace string
 
 	cancel  context.CancelFunc
 	mu      sync.Mutex
@@ -142,6 +149,22 @@ func (t *Tiered) Do(key string, codec *Codec, compute func() (any, error)) (any,
 	return t.DoCtx(context.Background(), key, codec, func(context.Context) (any, error) { return compute() })
 }
 
+// Tier names where a tiered lookup was served from; see DoCtxTier.
+type Tier string
+
+// The tiers a DoCtxTier lookup can resolve through.
+const (
+	// TierMem is an LRU memory-front hit.
+	TierMem Tier = "mem"
+	// TierJoin is a single-flight join: the caller shared another caller's
+	// in-progress computation.
+	TierJoin Tier = "join"
+	// TierDisk is a disk-tier restore.
+	TierDisk Tier = "disk"
+	// TierCompute is a full miss: the caller ran the computation itself.
+	TierCompute Tier = "compute"
+)
+
 // DoCtx is Do with caller-aware cancellation. compute receives a context
 // that is cancelled only when every caller sharing the computation has
 // cancelled: the originator's disconnect does not fail waiters that joined
@@ -149,25 +172,48 @@ func (t *Tiered) Do(key string, codec *Codec, compute func() (any, error)) (any,
 // the computation keeps running for the rest. Cancelled results are never
 // memoized, so the next caller recomputes.
 func (t *Tiered) DoCtx(ctx context.Context, key string, codec *Codec, compute func(ctx context.Context) (any, error)) (any, error) {
+	v, _, err := t.DoCtxTier(ctx, key, codec, compute)
+	return v, err
+}
+
+// DoCtxTier is DoCtx, additionally reporting which Tier served the lookup
+// ("" when the caller's context was already done). When ctx carries a
+// telemetry trace, the lookup records a "cache.lookup" span with per-tier
+// child spans (cache.mem, cache.join, cache.disk) and the computation runs
+// under the lookup span, so pipeline passes nest inside the request's trace;
+// joiners record the leader's trace ID.
+func (t *Tiered) DoCtxTier(ctx context.Context, key string, codec *Codec, compute func(ctx context.Context) (any, error)) (any, Tier, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
+	ctx, lookup := telemetry.Start(ctx, "cache.lookup")
 	t.mu.Lock()
 	if v, ok := t.mem.Get(key); ok {
 		t.mu.Unlock()
 		t.memHits.Add(1)
+		telemetry.Event(ctx, "cache.mem", "hit", "true")
+		lookup.Set("tier", string(TierMem))
+		lookup.End()
 		e := v.(memEntry)
-		return e.val, e.err
+		return e.val, TierMem, e.err
 	}
 	if f, ok := t.inflight[key]; ok && f.join() {
 		t.mu.Unlock()
 		t.memHits.Add(1)
+		_, joinSpan := telemetry.Start(ctx, "cache.join")
+		joinSpan.Set("leader_trace", f.leaderTrace)
+		lookup.Set("tier", string(TierJoin))
 		select {
 		case <-f.ready:
-			return f.val, f.err
+			joinSpan.End()
+			lookup.End()
+			return f.val, TierJoin, f.err
 		case <-ctx.Done():
 			f.leave()
-			return nil, ctx.Err()
+			joinSpan.Set("abandoned", "true")
+			joinSpan.End()
+			lookup.End()
+			return nil, TierJoin, ctx.Err()
 		}
 	}
 	// No shareable computation in flight — none at all, or a moribund one
@@ -177,23 +223,35 @@ func (t *Tiered) DoCtx(ctx context.Context, key string, codec *Codec, compute fu
 	// plans) but not its cancellation — that is relayed through the waiter
 	// refcount below, so one caller's disconnect cannot fail the others.
 	computeCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	f := &flight{ready: make(chan struct{}), cancel: cancel, waiters: 1}
+	f := &flight{ready: make(chan struct{}), cancel: cancel, waiters: 1,
+		leaderTrace: telemetry.From(ctx).TraceID()}
 	t.inflight[key] = f
 	t.mu.Unlock()
 	defer cancel()
+	telemetry.Event(ctx, "cache.mem", "hit", "false")
 
 	disk := t.Disk()
 	if disk != nil && codec != nil {
+		_, diskSpan := telemetry.Start(ctx, "cache.disk")
+		if diskSpan != nil { // Stats takes locks; skip it when not tracing
+			diskSpan.Set("breaker", disk.Stats().BreakerState)
+		}
 		if data, ok := disk.Get(key); ok {
 			if v, err := codec.Decode(data); err == nil {
 				t.diskHits.Add(1)
+				diskSpan.Set("hit", "true")
+				diskSpan.End()
+				lookup.Set("tier", string(TierDisk))
+				lookup.End()
 				t.finish(key, f, v, nil)
-				return v, nil
+				return v, TierDisk, nil
 			}
 			// Decodable-envelope but undecodable payload: a codec or schema
 			// change. Drop the entry and fall through to a recompute.
 			disk.Remove(key)
 		}
+		diskSpan.Set("hit", "false")
+		diskSpan.End()
 	}
 
 	// Relay the originator's cancellation through the waiter refcount: if
@@ -216,8 +274,10 @@ func (t *Tiered) DoCtx(ctx context.Context, key string, codec *Codec, compute fu
 			disk.Put(key, data) // best effort; a failed write only costs a future recompute
 		}
 	}
+	lookup.Set("tier", string(TierCompute))
+	lookup.End()
 	t.finish(key, f, v, err)
-	return v, err
+	return v, TierCompute, err
 }
 
 // finish publishes a completed computation to the LRU front and releases
@@ -302,10 +362,16 @@ func GetTiered[T any](t *Tiered, key string, codec *Codec, compute func() (T, er
 
 // GetTieredCtx is the typed wrapper over DoCtx.
 func GetTieredCtx[T any](t *Tiered, ctx context.Context, key string, codec *Codec, compute func(ctx context.Context) (T, error)) (T, error) {
-	v, err := t.DoCtx(ctx, key, codec, func(ctx context.Context) (any, error) { return compute(ctx) })
+	v, _, err := GetTieredCtxTier(t, ctx, key, codec, compute)
+	return v, err
+}
+
+// GetTieredCtxTier is the typed wrapper over DoCtxTier.
+func GetTieredCtxTier[T any](t *Tiered, ctx context.Context, key string, codec *Codec, compute func(ctx context.Context) (T, error)) (T, Tier, error) {
+	v, tier, err := t.DoCtxTier(ctx, key, codec, func(ctx context.Context) (any, error) { return compute(ctx) })
 	if err != nil {
 		var zero T
-		return zero, err
+		return zero, tier, err
 	}
-	return v.(T), nil
+	return v.(T), tier, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"zac/internal/engine"
+	"zac/internal/telemetry"
 )
 
 // minParallelRows is the problem size below which ParallelSolver always runs
@@ -96,10 +97,16 @@ func (p *ParallelSolver) SolveSparse(ctx context.Context, workers, n, m int, row
 		return nil, 0, err
 	}
 
+	ctx, span := telemetry.Start(ctx, "jv.parallel")
+	defer span.End()
+	span.SetInt("rows", n)
+	span.SetInt("components", numComp)
+
 	buckets := workers
 	if buckets > numComp {
 		buckets = numComp
 	}
+	span.SetInt("workers", buckets)
 	if cap(p.solvers) < buckets {
 		p.solvers = make([]Solver, buckets)
 	}

@@ -10,6 +10,7 @@ import (
 	"zac/internal/circuit"
 	"zac/internal/cover"
 	"zac/internal/engine"
+	"zac/internal/telemetry"
 )
 
 // Options selects the placement strategy; the four ablation settings of the
@@ -296,12 +297,16 @@ type saChain struct {
 // machine — chain 0 is bit-identical to the single-chain SAInitial run.
 func saRestarts(ctx context.Context, a *arch.Architecture, staged *circuit.Staged, opts Options, cov *cover.Set) ([]arch.TrapRef, error) {
 	cov.Hit("place:init:sa-restarts")
+	ctx, span := telemetry.Start(ctx, "place.sa_restarts")
+	span.SetInt("restarts", opts.SARestarts)
+	span.SetInt("workers", opts.Workers)
 	chains, err := engine.Map(ctx, opts.Workers, opts.SARestarts, func(i int) (saChain, error) {
 		r := rand.New(rand.NewSource(opts.Seed + int64(i)))
 		traps, cost, err := SAInitialWithCost(a, staged, opts.SAIterations, r)
 		return saChain{traps: traps, cost: cost}, err
 	})
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	best := 0
@@ -310,6 +315,8 @@ func saRestarts(ctx context.Context, a *arch.Architecture, staged *circuit.Stage
 			best = i
 		}
 	}
+	span.SetInt("winner", best)
+	span.End()
 	return chains[best].traps, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"zac/internal/geom"
 	"zac/internal/graphalgo"
 	"zac/internal/place"
+	"zac/internal/telemetry"
 	"zac/internal/zair"
 )
 
@@ -413,6 +414,10 @@ func groupCompatible(ctx context.Context, workers int, specs []moveSpec) ([][]in
 	n := len(specs)
 	adj := make([][]int, n)
 	if workers > 1 && n >= minParallelMoves {
+		ctx, span := telemetry.Start(ctx, "schedule.conflict_graph")
+		span.SetInt("moves", n)
+		span.SetInt("workers", workers)
+		defer span.End()
 		upper := make([][]int, n)
 		if err := engine.ForEach(ctx, workers, n, func(i int) error {
 			var row []int

@@ -105,6 +105,10 @@ type CompileResponse struct {
 	// the result came from the cache (memory or disk) or was shared with a
 	// concurrent identical request already compiling it.
 	Cached bool `json:"cached"`
+	// TraceID identifies this request's telemetry trace, inspectable at
+	// GET /v1/traces/{id}. Omitted when the server runs without a trace
+	// recorder.
+	TraceID string `json:"trace_id,omitempty"`
 	// ZAIR is the compiled program, byte-identical to the `zac -out` CLI
 	// encoding. Omitted when the request was made with ?zair=0.
 	ZAIR json.RawMessage `json:"zair,omitempty"`
@@ -116,6 +120,10 @@ type BatchItem struct {
 	Result *CompileResponse `json:"result,omitempty"`
 	// Error is the failure message, empty on success.
 	Error string `json:"error,omitempty"`
+	// TraceID identifies the request's telemetry trace — present on
+	// failures too, so a shed or timed-out request stays inspectable.
+	// Omitted when the server runs without a trace recorder.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// status is the HTTP status a single synchronous request reports for
 	// this failure (429 shed, 504 deadline); 0 means 400. Batch responses

@@ -18,10 +18,10 @@ func TestCompileCancelledNotPoisoned(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := CompileRequest{Circuit: "bv_n14"}
-	if _, err := s.compileOne(ctx, req, "", false); !errors.Is(err, context.Canceled) {
+	if _, _, err := s.compileOne(ctx, req, "", false); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	res, err := s.compileOne(context.Background(), req, "", false)
+	res, _, err := s.compileOne(context.Background(), req, "", false)
 	if err != nil {
 		t.Fatalf("retry after cancellation failed: %v", err)
 	}

@@ -122,6 +122,7 @@ func (s *Server) OpenJournal(dir string) (int, error) {
 	s.journal = jl
 	for _, id := range damaged {
 		s.adoptJob(id, JobInterrupted, 0)
+		s.log.Warn("journal record damaged", "job_id", id)
 	}
 	for _, e := range entries {
 		j := s.adoptJob(e.ID, JobPending, len(e.Requests))
@@ -129,6 +130,7 @@ func (s *Server) OpenJournal(dir string) (int, error) {
 			continue // id collision with a live job; drop the stale record
 		}
 		s.jobsReplayed.Add(1)
+		s.log.Info("journal replay", "job_id", e.ID, "requests", len(e.Requests))
 		s.startJob(j, e.Requests, e.DefaultCompiler, e.IncludeZAIR)
 	}
 	return int(s.jobsReplayed.Load()), nil

@@ -6,8 +6,16 @@ import (
 	"zac/internal/engine"
 )
 
-// handleMetrics serves GET /metrics: a machine-readable service snapshot.
+// handleMetrics serves GET /metrics: a machine-readable service snapshot —
+// JSON by default, or the Prometheus text exposition format when negotiated
+// via ?format=prom or an Accept header naming text/plain.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(PrometheusText(s.Metrics()))
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 

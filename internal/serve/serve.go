@@ -42,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,7 @@ import (
 	"zac/internal/engine"
 	"zac/internal/qasm"
 	"zac/internal/resynth"
+	"zac/internal/telemetry"
 	"zac/internal/workload"
 )
 
@@ -81,6 +83,14 @@ type Options struct {
 	// RetryAfter is the hint returned in the Retry-After header of 429/503
 	// responses (default 1s; rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+	// Telemetry, when non-nil, records one span trace per compile request,
+	// served at GET /v1/traces and echoed as trace_id in responses. Nil
+	// disables tracing entirely (requests pay one nil check).
+	Telemetry *telemetry.Recorder
+	// Logger receives structured request-completion logs (one line per
+	// compile with trace_id, compiler, cache tier, status, duration). Nil
+	// discards logs, keeping tests and embedders quiet.
+	Logger *slog.Logger
 }
 
 // ErrOverloaded is the admission controller's rejection: every compile slot
@@ -100,6 +110,8 @@ type Server struct {
 	cache     *engine.Tiered
 	artifacts *compiler.Artifacts
 	sem       chan struct{}
+	telemetry *telemetry.Recorder // nil when tracing is disabled
+	log       *slog.Logger
 
 	requests atomic.Uint64
 	compiles atomic.Uint64
@@ -150,11 +162,17 @@ func New(opts Options) *Server {
 	// Pass artifacts (staged circuits, placement plans) stay memory-only:
 	// they hold pointer graphs the disk tier cannot represent, and they
 	// rebuild cheaply relative to a full compile.
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	return &Server{
 		opts:      opts,
 		cache:     cache,
 		artifacts: compiler.NewArtifacts(engine.NewTiered(opts.MemEntries)),
 		sem:       make(chan struct{}, engine.Workers(opts.Parallel)),
+		telemetry: opts.Telemetry,
+		log:       logger,
 		jobs:      map[string]*job{},
 		latency:   map[string]*latencyAgg{},
 		passes:    map[string]*latencyAgg{},
@@ -170,6 +188,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -290,6 +310,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	item := results[0]
+	if item.TraceID != "" {
+		w.Header().Set("X-Trace-Id", item.TraceID)
+	}
 	if item.Error != "" {
 		status := item.status
 		if status == 0 {
@@ -344,34 +367,66 @@ func (s *Server) compileBatch(ctx context.Context, batch []CompileRequest, defau
 // single synchronous request reports (batch items carry the message only).
 // It runs on goroutines the service spawned itself — not net/http handler
 // goroutines — so a panic anywhere in a compiler would kill the whole
-// process; contain it as a per-item error instead.
+// process; contain it as a per-item error instead. Each item roots one
+// telemetry trace (when a recorder is attached) and emits one structured
+// request-completion log line.
 func (s *Server) compileItem(ctx context.Context, req CompileRequest, defaultCompiler string, includeZAIR bool) (item BatchItem) {
+	ctx, root := s.telemetry.StartTrace(ctx, "serve.compile")
+	t0 := time.Now()
+	var tier engine.Tier
+	status := "ok"
+	compilerName := ""
 	defer func() {
 		if r := recover(); r != nil {
 			item = BatchItem{Error: fmt.Sprintf("compile panicked: %v", r)}
+			status = "panic"
 		}
+		item.TraceID = root.TraceID()
+		if item.Result != nil {
+			item.Result.TraceID = root.TraceID()
+			compilerName = item.Result.Compiler
+		}
+		if compilerName == "" {
+			compilerName = req.Compiler
+		}
+		root.Set("status", status)
+		root.Set("compiler", compilerName)
+		if tier != "" {
+			root.Set("tier", string(tier))
+		}
+		root.End()
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "compile",
+			slog.String("trace_id", root.TraceID()),
+			slog.String("compiler", compilerName),
+			slog.String("tier", string(tier)),
+			slog.String("status", status),
+			slog.Duration("duration", time.Since(t0)))
 	}()
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := s.compileOne(ctx, req, defaultCompiler, includeZAIR)
+	res, itemTier, err := s.compileOne(ctx, req, defaultCompiler, includeZAIR)
+	tier = itemTier
 	switch {
 	case err == nil:
 		return BatchItem{Result: res}
 	case errors.Is(err, ErrOverloaded):
+		status = "shed"
 		return BatchItem{Error: err.Error(), status: http.StatusTooManyRequests}
 	case req.TimeoutMS > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) &&
 		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
 		// The deadline may surface as Canceled: when the last waiter leaves a
 		// shared computation, its context is cancelled rather than deadlined.
 		s.deadlines.Add(1)
+		status = "deadline"
 		return BatchItem{
 			Error:  fmt.Sprintf("deadline of %d ms exceeded", req.TimeoutMS),
 			status: http.StatusGatewayTimeout,
 		}
 	default:
+		status = "error"
 		return BatchItem{Error: err.Error()}
 	}
 }
@@ -381,24 +436,26 @@ func (s *Server) compileItem(ctx context.Context, req CompileRequest, defaultCom
 // the compile semaphore. The context reaches the pass pipeline, so an
 // abandoned request stops compiling mid-pass. A cancellation is never
 // memoized (the cache drops it), so a later identical request recompiles.
-func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultCompiler string, includeZAIR bool) (*CompileResponse, error) {
+// The returned Tier reports where the cache lookup resolved ("" when the
+// request failed before reaching the cache).
+func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultCompiler string, includeZAIR bool) (*CompileResponse, engine.Tier, error) {
 	c, setting, err := resolveCompiler(req, defaultCompiler)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	buildCirc, circKey, err := resolveCircuit(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	a, err := resolveArch(req, c)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if req.SARestarts < 0 {
-		return nil, fmt.Errorf("sa_restarts must be non-negative, got %d", req.SARestarts)
+		return nil, "", fmt.Errorf("sa_restarts must be non-negative, got %d", req.SARestarts)
 	}
 	if req.Workers < 0 {
-		return nil, fmt.Errorf("workers must be non-negative, got %d", req.Workers)
+		return nil, "", fmt.Errorf("workers must be non-negative, got %d", req.Workers)
 	}
 
 	key := "serve|" + c.Name() + "|" + circKey + "|arch=" + a.Fingerprint()
@@ -408,18 +465,20 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 	if req.SARestarts > 1 {
 		key += fmt.Sprintf("|sar=%d", req.SARestarts)
 	}
-	computed := false
-	// DoCtx gives the computation a context cancelled only when every
+	// DoCtxTier gives the computation a context cancelled only when every
 	// request sharing it has disconnected, so one client abandoning a
 	// compile never fails an identical concurrent request.
-	res, err := engine.GetTieredCtx(s.cache, ctx, key, core.ResultCodec(), func(ctx context.Context) (*core.Result, error) {
-		if err := s.admit(ctx); err != nil {
+	res, tier, err := engine.GetTieredCtxTier(s.cache, ctx, key, core.ResultCodec(), func(ctx context.Context) (*core.Result, error) {
+		ctx, adm := telemetry.Start(ctx, "admission")
+		queued, err := s.admit(ctx)
+		adm.SetBool("queued", queued)
+		adm.End()
+		if err != nil {
 			return nil, err
 		}
 		defer func() { <-s.sem }()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		computed = true
 		circ, err := buildCirc()
 		if err != nil {
 			return nil, err
@@ -443,7 +502,7 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 	})
 	s.compiles.Add(1)
 	if err != nil {
-		return nil, err
+		return nil, tier, err
 	}
 
 	out := &CompileResponse{
@@ -458,7 +517,7 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 		RearrangeJobs: res.NumJobs,
 		ReusedGates:   res.ReusedGates,
 		Moves:         res.TotalMoves,
-		Cached:        !computed,
+		Cached:        tier != engine.TierCompute,
 	}
 	if includeZAIR {
 		// The exact encoding the zac CLI writes with -out, so service and
@@ -466,11 +525,11 @@ func (s *Server) compileOne(ctx context.Context, req CompileRequest, defaultComp
 		// compilers are evaluation models: their program is header-only.
 		raw, err := json.MarshalIndent(res.Program, "", " ")
 		if err != nil {
-			return nil, fmt.Errorf("encoding ZAIR: %w", err)
+			return nil, tier, fmt.Errorf("encoding ZAIR: %w", err)
 		}
 		out.ZAIR = raw
 	}
-	return out, nil
+	return out, tier, nil
 }
 
 // compileWorkers resolves one compilation's intra-compile worker budget from
@@ -499,24 +558,25 @@ func (s *Server) compileWorkers(requested int) int {
 // it is already at QueueDepth, in which case the request is shed with
 // ErrOverloaded (Transient-wrapped, so the cache never memoizes a rejection
 // against the key). Cache hits never reach admission — only work that would
-// actually occupy a compile slot can be shed.
-func (s *Server) admit(ctx context.Context) error {
+// actually occupy a compile slot can be shed. The bool reports whether the
+// caller had to queue (false on the fast path and on a shed).
+func (s *Server) admit(ctx context.Context) (bool, error) {
 	select {
 	case s.sem <- struct{}{}:
-		return nil
+		return false, nil
 	default:
 	}
 	if s.waiting.Add(1) > int64(s.opts.QueueDepth) {
 		s.waiting.Add(-1)
 		s.shed.Add(1)
-		return engine.Transient(ErrOverloaded)
+		return false, engine.Transient(ErrOverloaded)
 	}
 	defer s.waiting.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
-		return nil
+		return true, nil
 	case <-ctx.Done():
-		return ctx.Err() // don't queue dead work ahead of live requests
+		return true, ctx.Err() // don't queue dead work ahead of live requests
 	}
 }
 

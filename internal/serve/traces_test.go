@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"zac/internal/engine"
+	"zac/internal/telemetry"
+)
+
+// TestCompileTrace is the tentpole acceptance test: one cold-cache compile
+// yields one trace whose nested spans cover admission, both cache tiers,
+// and all five pipeline passes; the trace id is echoed in the response body
+// and the X-Trace-Id header; and the Chrome export is valid trace_event
+// JSON.
+func TestCompileTrace(t *testing.T) {
+	disk, err := engine.OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder(16)
+	_, ts := newTestServer(t, Options{Telemetry: rec, Disk: disk})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/compile?zair=0",
+		strings.NewReader(`{"circuit":"bv_n14"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID == "" {
+		t.Fatal("compile response carries no trace_id")
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != out.TraceID {
+		t.Errorf("X-Trace-Id = %q, want %q", got, out.TraceID)
+	}
+
+	// The listing names the trace.
+	status, body := do(t, "GET", ts.URL+"/v1/traces", "")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/traces status = %d", status)
+	}
+	var listing TracesResponse
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if !listing.Enabled || len(listing.Traces) != 1 || listing.Traces[0].ID != out.TraceID {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	// The detail view holds the full request story.
+	status, body = do(t, "GET", ts.URL+"/v1/traces/"+out.TraceID, "")
+	if status != http.StatusOK {
+		t.Fatalf("trace detail status = %d", status)
+	}
+	var td telemetry.TraceData
+	if err := json.Unmarshal(body, &td); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range td.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{
+		"serve.compile", "cache.lookup", "cache.mem", "cache.disk", "admission",
+		"pass.validate", "pass.place", "pass.schedule", "pass.emit", "pass.fidelity",
+	} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	// ?id= on the collection endpoint serves the same detail.
+	status, idBody := do(t, "GET", ts.URL+"/v1/traces?id="+out.TraceID, "")
+	if status != http.StatusOK || !bytes.Equal(idBody, body) {
+		t.Errorf("?id= view differs from /v1/traces/{id} (status %d)", status)
+	}
+
+	// Chrome export: valid trace_event JSON with one event per span plus
+	// thread metadata.
+	status, body = do(t, "GET", ts.URL+"/v1/traces/"+out.TraceID+"?format=chrome", "")
+	if status != http.StatusOK {
+		t.Fatalf("chrome export status = %d", status)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) != len(td.Spans)+1 {
+		t.Errorf("chrome export has %d events, want %d", len(chrome.TraceEvents), len(td.Spans)+1)
+	}
+
+	// A second identical request is a memory hit: its own trace, tier mem.
+	status, body = do(t, "POST", ts.URL+"/v1/compile?zair=0", `{"circuit":"bv_n14"}`)
+	if status != http.StatusOK {
+		t.Fatalf("warm compile status = %d", status)
+	}
+	var warm CompileResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.TraceID == "" || warm.TraceID == out.TraceID {
+		t.Fatalf("warm trace id = %q (cold %q)", warm.TraceID, out.TraceID)
+	}
+	if !warm.Cached {
+		t.Error("second identical request not served from cache")
+	}
+	wtd, ok := rec.Get(warm.TraceID)
+	if !ok {
+		t.Fatal("warm trace not retained")
+	}
+	tier := ""
+	for _, sp := range wtd.Spans {
+		if sp.Name == "cache.lookup" {
+			for _, a := range sp.Attrs {
+				if a.Key == "tier" {
+					tier = a.Value
+				}
+			}
+		}
+	}
+	if tier != "mem" {
+		t.Errorf("warm lookup tier = %q, want mem", tier)
+	}
+}
+
+// TestTracesDisabled pins the nil-recorder behavior: no trace_id in
+// responses, an empty disabled listing, and 404 details — plus byte-stable
+// compile responses (the golden corpus runs without a recorder, so the
+// trace_id field must be absent, not empty).
+func TestTracesDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body := do(t, "POST", ts.URL+"/v1/compile?zair=0", `{"circuit":"bv_n14"}`)
+	if status != http.StatusOK {
+		t.Fatalf("compile status = %d", status)
+	}
+	if bytes.Contains(body, []byte("trace_id")) {
+		t.Error("disabled telemetry must omit trace_id from responses")
+	}
+	status, body = do(t, "GET", ts.URL+"/v1/traces", "")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/traces status = %d", status)
+	}
+	var listing TracesResponse
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Enabled || len(listing.Traces) != 0 {
+		t.Fatalf("listing = %+v", listing)
+	}
+	if status, _ := do(t, "GET", ts.URL+"/v1/traces/deadbeef", ""); status != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", status)
+	}
+}
+
+// TestCompileLogLine pins the structured request-completion log: one line
+// per compile carrying trace_id, compiler, cache tier, status, and
+// duration.
+func TestCompileLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	rec := telemetry.NewRecorder(4)
+	_, ts := newTestServer(t, Options{
+		Telemetry: rec,
+		Logger:    slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	status, body := do(t, "POST", ts.URL+"/v1/compile?zair=0", `{"circuit":"bv_n14"}`)
+	if status != http.StatusOK {
+		t.Fatalf("compile status = %d: %s", status, body)
+	}
+	var out CompileResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	var line struct {
+		Msg      string `json:"msg"`
+		TraceID  string `json:"trace_id"`
+		Compiler string `json:"compiler"`
+		Tier     string `json:"tier"`
+		Status   string `json:"status"`
+		Duration int64  `json:"duration"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log output is not one JSON line: %v\n%s", err, buf.String())
+	}
+	if line.Msg != "compile" || line.TraceID != out.TraceID ||
+		line.Compiler != "zac" || line.Tier != "compute" || line.Status != "ok" || line.Duration <= 0 {
+		t.Errorf("log line = %+v", line)
+	}
+}

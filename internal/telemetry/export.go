@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a complete event ("ph":"X") with microsecond timestamps, loadable in
+// Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level Chrome trace_event JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders traces as Chrome trace_event JSON (the "JSON Object
+// Format" with a traceEvents array). Each trace maps to its own tid so
+// concurrent requests stack as separate tracks; span timestamps are absolute
+// wall-clock microseconds, so traces from one process line up on a shared
+// axis. The output loads in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func ChromeTrace(traces []TraceData) ([]byte, error) {
+	events := make([]chromeEvent, 0, len(traces)*8)
+	for i, td := range traces {
+		tid := i + 1
+		base := td.Start.UnixMicro()
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": fmt.Sprintf("%s %s", td.Name, td.ID)},
+		})
+		for _, sp := range td.Spans {
+			ev := chromeEvent{
+				Name: sp.Name, Cat: "zac", Ph: "X",
+				TS: base + sp.StartUS, Dur: sp.DurUS,
+				PID: 1, TID: tid,
+			}
+			if len(sp.Attrs) > 0 {
+				ev.Args = make(map[string]string, len(sp.Attrs)+1)
+				for _, a := range sp.Attrs {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			if sp.Parent == 0 {
+				if ev.Args == nil {
+					ev.Args = map[string]string{}
+				}
+				ev.Args["trace_id"] = td.ID
+			}
+			events = append(events, ev)
+		}
+	}
+	return json.Marshal(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

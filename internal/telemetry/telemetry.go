@@ -1,0 +1,422 @@
+// Package telemetry is the request-scoped span tracer of the service
+// surfaces: a zero-dependency, context-carried tree of timed spans that
+// answers "why was *this* compile slow" — admission wait, cache tier probed,
+// which pipeline pass, which parallel kernel. It complements the process-wide
+// aggregates of /metrics (which say *that* something is slow, averaged) with
+// per-request structure, the way internal/cover complements tests and
+// internal/faultinject complements chaos suites: a value carried in a
+// context.Context, nil-safe at every call site, so code without a recorder in
+// scope pays one nil check and no allocation.
+//
+// A Recorder owns a bounded ring of recent traces. Recorder.StartTrace roots
+// a new trace in a context; telemetry.Start nests a child span under the
+// context's current span; Span.Set attaches key=value attributes;
+// Span.End completes the span into its trace. Completed traces are
+// exportable as JSON trees (TraceData, served by zac-serve's /v1/traces), as
+// Chrome trace_event JSON loadable in Perfetto/chrome://tracing
+// (ChromeTrace), and as indented text (TreeString, printed by `zac
+// -telemetry`).
+//
+// Naming: internal/trace renders compiled ZAIR programs as hardware
+// timelines (what the *quantum machine* does); this package traces the
+// compiler service itself (what the *software* does). The two are unrelated.
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	// Key names the attribute ("tier", "compiler", "winner", …).
+	Key string `json:"key"`
+	// Value is the attribute's rendered value.
+	Value string `json:"value"`
+}
+
+// SpanData is one completed span in a trace's exported view.
+type SpanData struct {
+	// Seq is the span's creation order within its trace (1 = root). Parents
+	// are always created before their children, so sorting by Seq yields a
+	// valid tree order.
+	Seq uint64 `json:"seq"`
+	// Parent is the Seq of the enclosing span (0 for the root).
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the span's operation name ("pass.place", "cache.disk", …).
+	Name string `json:"name"`
+	// StartUS is the span's start in microseconds since the trace started.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span's duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Attrs holds the span's key=value annotations, in Set order.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// TraceData is one trace's exported view: identity, timing, and the
+// completed spans in creation order.
+type TraceData struct {
+	// ID is the trace identifier echoed in compile responses.
+	ID string `json:"id"`
+	// Name is the root span's name.
+	Name string `json:"name"`
+	// Start is the trace's wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurUS is the root span's duration in microseconds (0 while running).
+	DurUS int64 `json:"dur_us"`
+	// Done reports that the root span has ended.
+	Done bool `json:"done"`
+	// Spans holds every completed span, sorted by Seq.
+	Spans []SpanData `json:"spans,omitempty"`
+	// DroppedSpans counts spans discarded because the trace hit its span cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+// TraceSummary is the listing view of a trace: TraceData without the spans.
+type TraceSummary struct {
+	// ID is the trace identifier.
+	ID string `json:"id"`
+	// Name is the root span's name.
+	Name string `json:"name"`
+	// Start is the trace's wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurUS is the root span's duration in microseconds (0 while running).
+	DurUS int64 `json:"dur_us"`
+	// Done reports that the root span has ended.
+	Done bool `json:"done"`
+	// Spans counts the trace's completed spans.
+	Spans int `json:"spans"`
+}
+
+// trace is one request's span tree under construction.
+type trace struct {
+	id    string
+	name  string
+	start time.Time
+
+	nextSeq atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []SpanData
+	maxSpan int
+	dropped int
+	done    bool
+	durUS   int64
+}
+
+// Span is one timed operation in flight. A nil *Span is a valid no-op
+// receiver for every method, so instrumented code never branches on tracing
+// being enabled.
+type Span struct {
+	tr     *trace
+	seq    uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// Recorder retains the most recent traces in a bounded ring. A nil *Recorder
+// is a valid no-op receiver: StartTrace returns the context unchanged and a
+// nil span, so surfaces with telemetry disabled pay nothing.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+	maxSpans int
+	traces   []*trace // oldest first
+}
+
+// DefaultCapacity is the trace-ring bound NewRecorder applies when the
+// caller passes a non-positive capacity.
+const DefaultCapacity = 256
+
+// maxSpansPerTrace bounds one trace's span count so a pathological request
+// (thousands of stages) cannot grow memory unboundedly; spans beyond the cap
+// are counted in TraceData.DroppedSpans instead of retained.
+const maxSpansPerTrace = 4096
+
+// NewRecorder returns a Recorder retaining at most capacity traces
+// (non-positive selects DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{capacity: capacity, maxSpans: maxSpansPerTrace}
+}
+
+// idSeq and idBase make trace IDs unique within a process and overwhelmingly
+// unlikely to collide across restarts (the base mixes the process start
+// time).
+var (
+	idSeq  atomic.Uint64
+	idBase = uint64(time.Now().UnixNano())
+)
+
+// splitmix64 is the 64-bit finalizer used to turn the (base, seq) pair into
+// a well-mixed trace ID.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// newTraceID returns a fresh 16-hex-digit trace identifier.
+func newTraceID() string {
+	return fmt.Sprintf("%016x", splitmix64(idBase+idSeq.Add(1)))
+}
+
+// ctxKey carries the current *Span in a context.
+type ctxKey struct{}
+
+// StartTrace roots a new trace named name in ctx and returns the derived
+// context plus the root span. The trace joins the recorder's ring
+// immediately, so in-flight requests are already listable. On a nil
+// recorder it returns (ctx, nil).
+func (r *Recorder) StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	tr := &trace{id: newTraceID(), name: name, start: time.Now(), maxSpan: r.maxSpans}
+	r.mu.Lock()
+	if len(r.traces) >= r.capacity {
+		n := copy(r.traces, r.traces[len(r.traces)-r.capacity+1:])
+		r.traces = r.traces[:n]
+	}
+	r.traces = append(r.traces, tr)
+	r.mu.Unlock()
+	sp := tr.newSpan(name, 0)
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// From returns the context's current span, or nil when the context carries
+// no trace. The nil result is safe to call every Span method on.
+func From(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Start opens a child span of the context's current span and returns the
+// derived context (carrying the child) plus the span. Contexts without a
+// trace return (ctx, nil) — one Value lookup, no allocation.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := From(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.tr.newSpan(name, parent.seq)
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// Event records an instantaneous child span (zero duration) with the given
+// alternating key, value attribute pairs. No-op without a trace in ctx.
+func Event(ctx context.Context, name string, kv ...string) {
+	parent := From(ctx)
+	if parent == nil {
+		return
+	}
+	sp := parent.tr.newSpan(name, parent.seq)
+	for i := 0; i+1 < len(kv); i += 2 {
+		sp.Set(kv[i], kv[i+1])
+	}
+	sp.End()
+}
+
+// newSpan allocates the next span of the trace.
+func (t *trace) newSpan(name string, parent uint64) *Span {
+	return &Span{tr: t, seq: t.nextSeq.Add(1), parent: parent, name: name, start: time.Now()}
+}
+
+// TraceID returns the span's trace identifier ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+// Set attaches a key=value attribute to the span. No-op on nil or ended
+// spans.
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute to the span.
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.Set(key, strconv.Itoa(v))
+}
+
+// SetBool attaches a boolean attribute to the span.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.Set(key, strconv.FormatBool(v))
+}
+
+// End completes the span into its trace. Ending the root span marks the
+// trace done. Safe to call multiple times; only the first End records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	t := s.tr
+	data := SpanData{
+		Seq:     s.seq,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(t.start).Microseconds(),
+		DurUS:   now.Sub(s.start).Microseconds(),
+		Attrs:   attrs,
+	}
+	t.mu.Lock()
+	if len(t.spans) < t.maxSpan {
+		t.spans = append(t.spans, data)
+	} else {
+		t.dropped++
+	}
+	if s.parent == 0 {
+		t.done = true
+		t.durUS = now.Sub(t.start).Microseconds()
+	}
+	t.mu.Unlock()
+}
+
+// data snapshots the trace's exported view.
+func (t *trace) data(withSpans bool) TraceData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	td := TraceData{
+		ID: t.id, Name: t.name, Start: t.start,
+		DurUS: t.durUS, Done: t.done, DroppedSpans: t.dropped,
+	}
+	if withSpans {
+		td.Spans = append([]SpanData(nil), t.spans...)
+		sort.Slice(td.Spans, func(i, j int) bool { return td.Spans[i].Seq < td.Spans[j].Seq })
+	}
+	return td
+}
+
+// Traces lists the retained traces' summaries, most recent first.
+func (r *Recorder) Traces() []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	snap := append([]*trace(nil), r.traces...)
+	r.mu.Unlock()
+	out := make([]TraceSummary, 0, len(snap))
+	for i := len(snap) - 1; i >= 0; i-- {
+		t := snap[i]
+		t.mu.Lock()
+		out = append(out, TraceSummary{
+			ID: t.id, Name: t.name, Start: t.start,
+			DurUS: t.durUS, Done: t.done, Spans: len(t.spans),
+		})
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// Get returns one retained trace's full view by ID.
+func (r *Recorder) Get(id string) (TraceData, bool) {
+	if r == nil {
+		return TraceData{}, false
+	}
+	r.mu.Lock()
+	var found *trace
+	for _, t := range r.traces {
+		if t.id == id {
+			found = t
+			break
+		}
+	}
+	r.mu.Unlock()
+	if found == nil {
+		return TraceData{}, false
+	}
+	return found.data(true), true
+}
+
+// Dump returns every retained trace's full view, oldest first — the shape
+// `zac-serve -traceout` writes at shutdown.
+func (r *Recorder) Dump() []TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	snap := append([]*trace(nil), r.traces...)
+	r.mu.Unlock()
+	out := make([]TraceData, 0, len(snap))
+	for _, t := range snap {
+		out = append(out, t.data(true))
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}
+
+// TreeString renders a trace as an indented text tree, one line per span
+// with its duration and attributes — the `zac -telemetry` output.
+func TreeString(td TraceData) string {
+	children := map[uint64][]SpanData{}
+	for _, sp := range td.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s\n", td.ID)
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, sp := range children[parent] {
+			b.WriteString(strings.Repeat("  ", depth))
+			fmt.Fprintf(&b, "%s %s", sp.Name, time.Duration(sp.DurUS)*time.Microsecond)
+			for _, a := range sp.Attrs {
+				fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+			}
+			b.WriteByte('\n')
+			walk(sp.Seq, depth+1)
+		}
+	}
+	walk(0, 0)
+	if td.DroppedSpans > 0 {
+		fmt.Fprintf(&b, "(%d spans dropped)\n", td.DroppedSpans)
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety is the zero-overhead contract: nil recorders and spans, and
+// contexts without a trace, are no-ops at every call site.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	ctx, sp := r.StartTrace(context.Background(), "root")
+	if sp != nil {
+		t.Fatal("nil recorder returned a span")
+	}
+	if From(ctx) != nil {
+		t.Fatal("nil recorder attached a span to the context")
+	}
+	ctx2, child := Start(ctx, "child")
+	if child != nil || ctx2 != ctx {
+		t.Fatal("Start without a trace must return (ctx, nil)")
+	}
+	Event(ctx, "event", "k", "v")
+	child.Set("k", "v")
+	child.SetInt("n", 1)
+	child.SetBool("b", true)
+	child.End()
+	if got := child.TraceID(); got != "" {
+		t.Fatalf("nil span TraceID = %q, want empty", got)
+	}
+	if r.Traces() != nil || r.Dump() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder must report no traces")
+	}
+	if _, ok := r.Get("x"); ok {
+		t.Fatal("nil recorder Get must miss")
+	}
+}
+
+// TestSpanTree pins the span model: nesting via context, attrs, seq order,
+// and the trace completing when the root ends.
+func TestSpanTree(t *testing.T) {
+	r := NewRecorder(4)
+	ctx, root := r.StartTrace(context.Background(), "compile")
+	if root.TraceID() == "" {
+		t.Fatal("empty trace id")
+	}
+	ctx1, place := Start(ctx, "pass.place")
+	place.Set("cached", "false")
+	_, sa := Start(ctx1, "place.sa_restarts")
+	sa.SetInt("restarts", 4)
+	sa.End()
+	place.End()
+	Event(ctx, "cache.mem", "hit", "false")
+	root.End()
+
+	td, ok := r.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if !td.Done || td.Name != "compile" {
+		t.Fatalf("trace = %+v", td)
+	}
+	if len(td.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(td.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["pass.place"].Parent != byName["compile"].Seq {
+		t.Error("pass.place must nest under the root")
+	}
+	if byName["place.sa_restarts"].Parent != byName["pass.place"].Seq {
+		t.Error("place.sa_restarts must nest under pass.place")
+	}
+	if byName["cache.mem"].Parent != byName["compile"].Seq {
+		t.Error("Event must nest under the context's current span")
+	}
+	if got := byName["place.sa_restarts"].Attrs; len(got) != 1 || got[0].Key != "restarts" || got[0].Value != "4" {
+		t.Errorf("sa attrs = %+v", got)
+	}
+	tree := TreeString(td)
+	for _, want := range []string{"compile", "  pass.place", "    place.sa_restarts", "restarts=4"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestRingEviction pins the bounded-ring retention: the oldest trace leaves
+// when the capacity is exceeded.
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(2)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, sp := r.StartTrace(context.Background(), "t")
+		ids = append(ids, sp.TraceID())
+		sp.End()
+	}
+	if r.Len() != 2 {
+		t.Fatalf("retained %d traces, want 2", r.Len())
+	}
+	if _, ok := r.Get(ids[0]); ok {
+		t.Error("oldest trace must be evicted")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := r.Get(id); !ok {
+			t.Errorf("trace %s missing", id)
+		}
+	}
+	// Most recent first in the listing.
+	sums := r.Traces()
+	if len(sums) != 2 || sums[0].ID != ids[2] || sums[1].ID != ids[1] {
+		t.Errorf("summaries = %+v", sums)
+	}
+}
+
+// TestSpanCap pins the per-trace span bound: spans beyond the cap are
+// counted, not retained.
+func TestSpanCap(t *testing.T) {
+	r := NewRecorder(1)
+	r.maxSpans = 3
+	ctx, root := r.StartTrace(context.Background(), "t")
+	for i := 0; i < 5; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	root.End()
+	td, _ := r.Get(root.TraceID())
+	if len(td.Spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(td.Spans))
+	}
+	if td.DroppedSpans != 3 { // two children + the root
+		t.Fatalf("dropped %d spans, want 3", td.DroppedSpans)
+	}
+}
+
+// TestConcurrentSpans exercises concurrent span creation and attribute
+// writes under the race detector.
+func TestConcurrentSpans(t *testing.T) {
+	r := NewRecorder(8)
+	ctx, root := r.StartTrace(context.Background(), "t")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, sp := Start(ctx, "worker")
+				sp.SetInt("g", g)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	td, _ := r.Get(root.TraceID())
+	if len(td.Spans) != 401 {
+		t.Fatalf("got %d spans, want 401", len(td.Spans))
+	}
+	for i := 1; i < len(td.Spans); i++ {
+		if td.Spans[i].Seq <= td.Spans[i-1].Seq {
+			t.Fatal("spans not sorted by seq")
+		}
+	}
+}
+
+// TestChromeTrace pins the trace_event export shape Perfetto consumes:
+// a traceEvents array of complete ("X") events plus thread-name metadata,
+// valid JSON, with trace-relative timestamps shifted to absolute µs.
+func TestChromeTrace(t *testing.T) {
+	r := NewRecorder(2)
+	ctx, root := r.StartTrace(context.Background(), "compile")
+	_, sp := Start(ctx, "pass.place")
+	sp.Set("cached", "false")
+	sp.End()
+	root.End()
+
+	data, err := ChromeTrace(r.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   int64             `json:"ts"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) != 3 { // metadata + 2 spans
+		t.Fatalf("got %d events, want 3", len(file.TraceEvents))
+	}
+	var phases []string
+	for _, ev := range file.TraceEvents {
+		phases = append(phases, ev.Ph)
+		if ev.Ph == "X" && ev.TS < root.tr.start.UnixMicro() {
+			t.Errorf("event %s ts %d before trace start", ev.Name, ev.TS)
+		}
+	}
+	if phases[0] != "M" || phases[1] != "X" || phases[2] != "X" {
+		t.Errorf("phases = %v", phases)
+	}
+	// The root event carries the trace id for cross-referencing.
+	found := false
+	for _, ev := range file.TraceEvents {
+		if ev.Args["trace_id"] == root.TraceID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no event carries the trace id")
+	}
+}
+
+// TestTraceIDUniqueness spot-checks that concurrent trace starts never
+// collide.
+func TestTraceIDUniqueness(t *testing.T) {
+	r := NewRecorder(1024)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, sp := r.StartTrace(context.Background(), "t")
+				mu.Lock()
+				if seen[sp.TraceID()] {
+					t.Error("duplicate trace id")
+				}
+				seen[sp.TraceID()] = true
+				mu.Unlock()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,10 @@
 // plus lanes for Rydberg exposures and 1Q pulse trains. It exists for
 // debugging compilations and for inspecting how the load-balancing scheduler
 // fills multiple AODs (paper §VI).
+//
+// Naming: this package draws what the *quantum machine* will do with a
+// compiled program. Request-scoped tracing of the compiler software itself
+// (spans, trace IDs, /v1/traces) lives in internal/telemetry.
 package trace
 
 import (

@@ -47,7 +47,7 @@ if [ "$ok" != 1 ]; then
     exit 1
 fi
 
-grep -q 'replaying 1 journaled job' "$WORK/serve.log"
+grep -q 'msg="replaying journaled jobs" jobs=1' "$WORK/serve.log"
 curl -fsS "http://$ADDR/readyz" | grep -q '"status": "ready"'
 
 done=0

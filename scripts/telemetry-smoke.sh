@@ -1,0 +1,72 @@
+#!/bin/sh
+# Smoke test for the telemetry subsystem: boot zac-serve with tracing, JSON
+# logs, and a shutdown trace export; run one cold compile; assert the
+# response's trace is listed, contains every pipeline pass and the cache-tier
+# spans, and exports as valid Chrome trace_event JSON; then SIGTERM and
+# require the -traceout file.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:8757}"
+WORK="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/zac-serve" ./cmd/zac-serve
+"$WORK/zac-serve" -addr "$ADDR" -cachedir "$WORK/cache" -logjson \
+    -traceout "$WORK/traces.json" >"$WORK/serve.log" 2>&1 &
+PID=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "zac-serve never became healthy" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+
+# One cold compile; the response echoes its trace id (body and header).
+curl -fsS -D "$WORK/headers.txt" -X POST "http://$ADDR/v1/compile?zair=0" \
+    -d '{"circuit":"bv_n14"}' >"$WORK/first.json"
+TRACE_ID="$(sed -n 's/.*"trace_id": "\([0-9a-f]*\)".*/\1/p' "$WORK/first.json" | head -1)"
+if [ -z "$TRACE_ID" ]; then
+    echo "compile response carries no trace_id" >&2
+    cat "$WORK/first.json" >&2
+    exit 1
+fi
+grep -qi "X-Trace-Id: $TRACE_ID" "$WORK/headers.txt"
+
+# The trace is listed and its span tree tells the whole request story:
+# admission, both cache tiers, and all five pipeline passes.
+curl -fsS "http://$ADDR/v1/traces" | grep -q "\"$TRACE_ID\""
+curl -fsS "http://$ADDR/v1/traces/$TRACE_ID" >"$WORK/trace.json"
+for span in serve.compile admission cache.lookup cache.mem cache.disk \
+    pass.validate pass.place pass.schedule pass.emit pass.fidelity; do
+    if ! grep -q "\"$span\"" "$WORK/trace.json"; then
+        echo "trace $TRACE_ID missing span $span" >&2
+        cat "$WORK/trace.json" >&2
+        exit 1
+    fi
+done
+
+# The Chrome trace_event export is valid JSON with a traceEvents array.
+curl -fsS "http://$ADDR/v1/traces/$TRACE_ID?format=chrome" >"$WORK/chrome.json"
+python3 -m json.tool "$WORK/chrome.json" >/dev/null
+grep -q '"traceEvents"' "$WORK/chrome.json"
+
+# Prometheus negotiation on /metrics, and one structured JSON log line per
+# compile carrying the trace id.
+curl -fsS "http://$ADDR/metrics?format=prom" | grep -q '# TYPE zac_requests_total counter'
+grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORK/serve.log"
+
+# Graceful shutdown writes the retained traces to -traceout.
+kill -TERM "$PID"
+for _ in $(seq 1 50); do
+    if ! kill -0 "$PID" 2>/dev/null; then break; fi
+    sleep 0.2
+done
+python3 -m json.tool "$WORK/traces.json" >/dev/null
+grep -q "\"$TRACE_ID\"" "$WORK/traces.json"
+
+echo "telemetry-smoke: OK"
